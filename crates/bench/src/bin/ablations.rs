@@ -1,0 +1,178 @@
+//! Ablations over TBR's design parameters (DESIGN.md §5): bucket depth,
+//! fill period, adjustment period, uplink retry information, and the
+//! scheduler family comparison. Run with
+//! `cargo run -p airtime-bench --bin ablations --release`.
+
+use airtime_bench::{mbps, measure_quick, pct, print_table};
+use airtime_core::TbrConfig;
+use airtime_phy::DataRate;
+use airtime_sim::SimDuration;
+use airtime_wlan::{scenarios, SchedulerKind};
+
+fn main() {
+    bucket_depth();
+    fill_period();
+    adjust_period();
+    retry_info();
+    scheduler_family();
+}
+
+/// 1vs11 downlink: bucket depth trades short-term burstiness against
+/// long-term fairness precision (paper §4.5).
+fn bucket_depth() {
+    println!("Ablation: TBR bucket depth (1vs11 downlink)\n");
+    let mut rows = Vec::new();
+    for ms in [2, 5, 10, 20, 50, 100, 250] {
+        let bucket = SimDuration::from_millis(ms);
+        let tc = TbrConfig {
+            bucket,
+            initial_tokens: bucket.min(SimDuration::from_millis(5)),
+            ..TbrConfig::default()
+        };
+        let r = measure_quick(scenarios::downloaders(
+            &[DataRate::B11, DataRate::B1],
+            SchedulerKind::Tbr(tc),
+        ));
+        rows.push(vec![
+            format!("{ms} ms"),
+            mbps(r.total_goodput_mbps),
+            pct(r.nodes[0].occupancy_share),
+            pct(r.utilization),
+        ]);
+    }
+    print_table(
+        &["bucket", "total Mb/s", "T(11M node)", "utilization"],
+        &rows,
+    );
+    println!();
+}
+
+/// Fill-event granularity: finer ticks cost events, coarser ticks delay
+/// unblocking.
+fn fill_period() {
+    println!("Ablation: FILLEVENT period (1vs11 downlink)\n");
+    let mut rows = Vec::new();
+    for us in [500, 1_000, 2_000, 5_000, 10_000, 50_000] {
+        let tc = TbrConfig {
+            fill_period: SimDuration::from_micros(us),
+            ..TbrConfig::default()
+        };
+        let r = measure_quick(scenarios::downloaders(
+            &[DataRate::B11, DataRate::B1],
+            SchedulerKind::Tbr(tc),
+        ));
+        rows.push(vec![
+            format!("{:.1} ms", us as f64 / 1000.0),
+            mbps(r.total_goodput_mbps),
+            pct(r.nodes[0].occupancy_share),
+            pct(r.utilization),
+        ]);
+    }
+    print_table(
+        &["fill period", "total Mb/s", "T(11M node)", "utilization"],
+        &rows,
+    );
+    println!();
+}
+
+/// ADJUSTRATEEVENT period: responsiveness of the Table 4 reallocation.
+fn adjust_period() {
+    println!("Ablation: ADJUSTRATEEVENT period (Table 4 scenario)\n");
+    let mut rows = Vec::new();
+    for ms in [250, 500, 1_000, 2_000, 5_000, 1_000_000] {
+        let tc = TbrConfig {
+            adjust_period: SimDuration::from_millis(ms),
+            ..TbrConfig::default()
+        };
+        let r = measure_quick(scenarios::bottleneck_table4(SchedulerKind::Tbr(tc)));
+        rows.push(vec![
+            if ms >= 1_000_000 {
+                "off".to_string()
+            } else {
+                format!("{ms} ms")
+            },
+            mbps(r.flows[0].goodput_mbps),
+            mbps(r.flows[1].goodput_mbps),
+            mbps(r.total_goodput_mbps),
+        ]);
+    }
+    print_table(
+        &["adjust period", "n1 (greedy)", "n2 (2.1M cap)", "total"],
+        &rows,
+    );
+    println!("(in this scenario n2's unused share is small enough that token");
+    println!("binding alone keeps n1 within ~2% of the stock AP, so the sweep is");
+    println!("flat; the adjuster matters when a client is grossly idle — see the");
+    println!("trickle-demand unit tests and the utilization column of the bucket");
+    println!("sweep)");
+    println!();
+}
+
+/// The paper's §4.2/§4.4 point: without uplink retry counts TBR slightly
+/// under-charges lossy slow uplinks.
+fn retry_info() {
+    println!("Ablation: uplink retry information (1vs11 uplink, lossy slow node)\n");
+    let mut rows = Vec::new();
+    for (label, retry_info, estimator, fer) in [
+        ("single-attempt estimate, 1% loss", false, false, 0.01),
+        ("exact retry info, 1% loss", true, false, 0.01),
+        ("single-attempt estimate, 20% loss", false, false, 0.20),
+        ("sec-4.2 loss heuristic, 20% loss", false, true, 0.20),
+        ("exact retry info, 20% loss", true, false, 0.20),
+    ] {
+        let mut cfg = scenarios::uploaders(&[DataRate::B11, DataRate::B1], SchedulerKind::tbr());
+        cfg.uplink_retry_info = retry_info;
+        cfg.uplink_loss_estimator = estimator;
+        cfg.stations[1].link = airtime_wlan::LinkSpec::Fixed {
+            rate: DataRate::B1,
+            fer,
+        };
+        let r = measure_quick(cfg);
+        rows.push(vec![
+            label.to_string(),
+            mbps(r.flows[0].goodput_mbps),
+            mbps(r.flows[1].goodput_mbps),
+            pct(r.nodes[1].occupancy_share),
+        ]);
+    }
+    print_table(
+        &["accounting", "R(11M)", "R(1M lossy)", "T(1M lossy)"],
+        &rows,
+    );
+    println!("(the estimate leaves retransmission airtime unbilled, biasing the");
+    println!("lossy slow node — the bias the paper observed in its prototype)");
+    println!();
+}
+
+/// All four disciplines on the same mixed-rate downlink workload.
+fn scheduler_family() {
+    println!("Ablation: scheduler family (1vs11 downlink)\n");
+    let mut rows = Vec::new();
+    let tbr_red = TbrConfig {
+        buffer: airtime_core::BufferPolicy::Red(airtime_core::RedConfig::default()),
+        ..TbrConfig::default()
+    };
+    for (label, sched) in [
+        ("FIFO", SchedulerKind::Fifo),
+        ("RoundRobin", SchedulerKind::RoundRobin),
+        ("DRR", SchedulerKind::Drr),
+        ("TBR", SchedulerKind::tbr()),
+        ("TBR+RED", SchedulerKind::Tbr(tbr_red)),
+        ("TXOP", SchedulerKind::txop()),
+    ] {
+        let r = measure_quick(scenarios::downloaders(
+            &[DataRate::B11, DataRate::B1],
+            sched,
+        ));
+        rows.push(vec![
+            label.to_string(),
+            mbps(r.flows[0].goodput_mbps),
+            mbps(r.flows[1].goodput_mbps),
+            mbps(r.total_goodput_mbps),
+            pct(r.nodes[0].occupancy_share),
+        ]);
+    }
+    print_table(&["scheduler", "R(11M)", "R(1M)", "total", "T(11M)"], &rows);
+    println!("(FIFO/RR/DRR are all throughput-fair; TBR, TBR+RED and TXOP are");
+    println!("time-fair and lift the total)");
+}

@@ -1,0 +1,33 @@
+//! Figure 2 — the DCF anomaly: achieved TCP throughputs and channel
+//! occupancy fractions for two uploaders, 11vs11 and 1vs11.
+
+use airtime_bench::{mbps, measure, pct, print_table};
+use airtime_phy::DataRate;
+use airtime_wlan::{scenarios, SchedulerKind};
+
+fn main() {
+    println!("Figure 2: two competing TCP uploaders under stock DCF\n");
+    let mut rows = Vec::new();
+    for (label, rates) in [
+        ("11 vs 11", [DataRate::B11, DataRate::B11]),
+        ("11 vs 1", [DataRate::B11, DataRate::B1]),
+    ] {
+        let r = measure(scenarios::uploaders(&rates, SchedulerKind::Fifo));
+        rows.push(vec![
+            label.to_string(),
+            format!("{}/{}", rates[0], rates[1]),
+            mbps(r.flows[0].goodput_mbps),
+            mbps(r.flows[1].goodput_mbps),
+            mbps(r.total_goodput_mbps),
+            pct(r.nodes[0].occupancy_share),
+            pct(r.nodes[1].occupancy_share),
+        ]);
+    }
+    print_table(
+        &["case", "rates", "R(n1)", "R(n2)", "total", "T(n1)", "T(n2)"],
+        &rows,
+    );
+    println!();
+    println!("paper: 11vs11 total 5.08; 11vs1 ~0.67 each, total 1.34,");
+    println!("       slow node holding 6.4x the fast node's channel time");
+}

@@ -1,0 +1,37 @@
+//! Figure 3 — throughput and channel-occupancy allocations under
+//! throughput-based (RF) vs time-based (TF) fairness, for 11vs11,
+//! 1vs11 and 1vs1.
+
+use airtime_bench::{mbps, measure, pct, print_table};
+use airtime_phy::DataRate;
+use airtime_wlan::{scenarios, SchedulerKind};
+
+fn main() {
+    println!("Figure 3: achieved TCP throughput and occupancy under RF vs TF\n");
+    let mut rows = Vec::new();
+    for (case, rates) in [
+        ("11vs11", [DataRate::B11, DataRate::B11]),
+        ("1vs11", [DataRate::B1, DataRate::B11]),
+        ("1vs1", [DataRate::B1, DataRate::B1]),
+    ] {
+        for (notion, sched) in [("RF", SchedulerKind::Fifo), ("TF", SchedulerKind::tbr())] {
+            let r = measure(scenarios::uploaders(&rates, sched));
+            rows.push(vec![
+                format!("{case} {notion}"),
+                mbps(r.flows[0].goodput_mbps),
+                mbps(r.flows[1].goodput_mbps),
+                mbps(r.total_goodput_mbps),
+                pct(r.nodes[0].occupancy_share),
+                pct(r.nodes[1].occupancy_share),
+            ]);
+        }
+    }
+    print_table(
+        &["case", "R(n1)", "R(n2)", "total", "T(n1)", "T(n2)"],
+        &rows,
+    );
+    println!();
+    println!("shape to check (paper Fig 3): equal-rate cases identical under both");
+    println!("notions; 1vs11 under RF equal R but skewed T; under TF equal T and");
+    println!("n2(11M) far ahead on R, with n1(1M) matching its 1vs1 value.");
+}

@@ -1,0 +1,32 @@
+//! Figure 4 — UDP and TCP throughputs for three 11 Mbit/s nodes, uplink
+//! and downlink.
+
+use airtime_bench::{mbps, measure, print_table};
+use airtime_wlan::{scenarios, Direction, SchedulerKind, Transport};
+
+fn main() {
+    println!("Figure 4: three 11M nodes exchanging data with the AP\n");
+    let mut rows = Vec::new();
+    for transport in [Transport::Udp, Transport::Tcp] {
+        for direction in [Direction::Uplink, Direction::Downlink] {
+            let r = measure(scenarios::updown_baseline(
+                3,
+                transport,
+                direction,
+                SchedulerKind::RoundRobin,
+            ));
+            rows.push(vec![
+                format!("{transport:?} {direction:?}"),
+                mbps(r.flows[0].goodput_mbps),
+                mbps(r.flows[1].goodput_mbps),
+                mbps(r.flows[2].goodput_mbps),
+                mbps(r.total_goodput_mbps),
+            ]);
+        }
+    }
+    print_table(&["case", "n1", "n2", "n3", "total"], &rows);
+    println!();
+    println!("shape to check (paper Fig 4): per-node splits equal; UDP > TCP");
+    println!("(TCP ack airtime); uplink > downlink (the solo AP sender pays a");
+    println!("post-transmission backoff after every frame).");
+}

@@ -1,0 +1,32 @@
+//! Figure 8 — TBR overhead check: two same-rate TCP nodes, uplink and
+//! downlink, stock AP (Exp-Normal) vs TBR (Exp-TBR).
+
+use airtime_bench::{mbps, measure, print_table};
+use airtime_phy::DataRate;
+use airtime_wlan::{scenarios, Direction, SchedulerKind};
+
+fn main() {
+    println!("Figure 8: same-rate pairs — TBR must cost nothing\n");
+    let mut rows = Vec::new();
+    for rate in [DataRate::B11, DataRate::B1] {
+        for direction in [Direction::Uplink, Direction::Downlink] {
+            for (label, sched) in [
+                ("Normal", SchedulerKind::RoundRobin),
+                ("TBR", SchedulerKind::tbr()),
+            ] {
+                let r = measure(scenarios::tcp_stations(&[rate, rate], direction, sched));
+                rows.push(vec![
+                    format!("{rate} {direction:?} {label}"),
+                    mbps(r.flows[0].goodput_mbps),
+                    mbps(r.flows[1].goodput_mbps),
+                    mbps(r.total_goodput_mbps),
+                ]);
+            }
+        }
+    }
+    print_table(&["case", "n1", "n2", "total"], &rows);
+    println!();
+    println!("shape to check (paper Fig 8): Normal and TBR rows nearly identical");
+    println!("for every same-rate pair, i.e. the regulator adds no overhead when");
+    println!("there is nothing to regulate.");
+}

@@ -1,0 +1,75 @@
+//! Figure 9 — mixed-rate pairs under Exp-Normal vs Exp-TBR, against the
+//! analytic predictions Eq 6 (RF) and Eq 12 (TF). Downlink (9a) and
+//! uplink (9b).
+
+use airtime_bench::{mbps, measure, print_table};
+use airtime_model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
+use airtime_phy::DataRate;
+use airtime_wlan::{scenarios, Direction, SchedulerKind};
+
+fn main() {
+    println!("Figure 9: mixed-rate TCP pairs (n1 at 11M vs n2 slower)\n");
+    for direction in [Direction::Downlink, Direction::Uplink] {
+        println!(
+            "--- {} ---",
+            match direction {
+                Direction::Downlink => "9(a) downlink",
+                Direction::Uplink => "9(b) uplink",
+            }
+        );
+        let mut rows = Vec::new();
+        let mut gains = Vec::new();
+        for slow in [DataRate::B5_5, DataRate::B2, DataRate::B1] {
+            let rates = [DataRate::B11, slow];
+            let specs: Vec<NodeSpec> = rates
+                .iter()
+                .map(|r| NodeSpec::with_gamma(gamma_measured(*r).unwrap()))
+                .collect();
+            let eq6 = rf_allocation(&specs);
+            let eq12 = tf_allocation(&specs);
+            let normal = measure(scenarios::tcp_stations(
+                &rates,
+                direction,
+                SchedulerKind::RoundRobin,
+            ));
+            let tbr = measure(scenarios::tcp_stations(
+                &rates,
+                direction,
+                SchedulerKind::tbr(),
+            ));
+            gains.push((
+                slow,
+                tbr.total_goodput_mbps / normal.total_goodput_mbps - 1.0,
+            ));
+            for (label, n1, n2) in [
+                ("Eq6", eq6.throughput[0], eq6.throughput[1]),
+                (
+                    "Exp-Normal",
+                    normal.flows[0].goodput_mbps,
+                    normal.flows[1].goodput_mbps,
+                ),
+                ("Eq12", eq12.throughput[0], eq12.throughput[1]),
+                (
+                    "Exp-TBR",
+                    tbr.flows[0].goodput_mbps,
+                    tbr.flows[1].goodput_mbps,
+                ),
+            ] {
+                rows.push(vec![
+                    format!("{slow} vs 11M {label}"),
+                    mbps(n1),
+                    mbps(n2),
+                    mbps(n1 + n2),
+                ]);
+            }
+        }
+        print_table(&["case", "R(n1,11M)", "R(n2)", "total"], &rows);
+        for (slow, gain) in gains {
+            println!("TBR aggregate gain, {slow} vs 11M: {:.0}%", gain * 100.0);
+        }
+        println!();
+    }
+    println!("shape to check (paper Fig 9): Exp-Normal tracks Eq6, Exp-TBR tracks");
+    println!("Eq12; downlink gains ~6% (5.5v11), ~35% (2v11), ~103% (1v11), with");
+    println!("similar uplink improvements.");
+}

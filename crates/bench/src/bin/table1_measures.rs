@@ -1,0 +1,118 @@
+//! Table 1 — fairness and efficiency measures under RF vs TF, from
+//! both the analytic task model and full task-model simulations.
+
+use airtime_bench::{mbps, print_table};
+use airtime_core::throughput_gap;
+use airtime_model::{gamma_measured, task_schedule, FairnessPolicy, NodeSpec};
+use airtime_phy::DataRate;
+use airtime_wlan::{run, scenarios, SchedulerKind};
+
+fn main() {
+    println!("Table 1: measures under throughput-based (RF) vs time-based (TF)");
+    println!("fairness, 1vs11 Mbit/s, equal 4 MB tasks\n");
+
+    // Analytic fluid task model.
+    let nodes = [
+        NodeSpec::with_gamma(gamma_measured(DataRate::B11).unwrap()),
+        NodeSpec::with_gamma(gamma_measured(DataRate::B1).unwrap()),
+    ];
+    let tasks = [4e6, 4e6];
+    let rf_a = task_schedule(&nodes, &tasks, FairnessPolicy::ThroughputFair);
+    let tf_a = task_schedule(&nodes, &tasks, FairnessPolicy::TimeFair);
+
+    // Simulated task model.
+    let rf_s = run(&scenarios::task_model(
+        &[DataRate::B11, DataRate::B1],
+        4_000_000,
+        SchedulerKind::RoundRobin,
+    ));
+    let tf_s = run(&scenarios::task_model(
+        &[DataRate::B11, DataRate::B1],
+        4_000_000,
+        SchedulerKind::tbr(),
+    ));
+
+    // Fluid-model throughput gaps and aggregate.
+    let rf_fluid = run(&airtime_bench_fluid(SchedulerKind::Fifo));
+    let tf_fluid = run(&airtime_bench_fluid(SchedulerKind::tbr()));
+
+    let rows = vec![
+        vec![
+            "fairness |R(i)-R(j)| (Mb/s)".into(),
+            mbps(throughput_gap(
+                &rf_fluid
+                    .flows
+                    .iter()
+                    .map(|f| f.goodput_mbps)
+                    .collect::<Vec<_>>(),
+            )),
+            mbps(throughput_gap(
+                &tf_fluid
+                    .flows
+                    .iter()
+                    .map(|f| f.goodput_mbps)
+                    .collect::<Vec<_>>(),
+            )),
+        ],
+        vec![
+            "fairness |T(i)-T(j)|".into(),
+            format!(
+                "{:.3}",
+                throughput_gap(
+                    &rf_fluid
+                        .nodes
+                        .iter()
+                        .map(|n| n.occupancy_share)
+                        .collect::<Vec<_>>()
+                )
+            ),
+            format!(
+                "{:.3}",
+                throughput_gap(
+                    &tf_fluid
+                        .nodes
+                        .iter()
+                        .map(|n| n.occupancy_share)
+                        .collect::<Vec<_>>()
+                )
+            ),
+        ],
+        vec![
+            "FinalTaskTime, analytic (s)".into(),
+            format!("{:.1}", rf_a.final_task_time),
+            format!("{:.1}", tf_a.final_task_time),
+        ],
+        vec![
+            "AvgTaskTime, analytic (s)".into(),
+            format!("{:.1}", rf_a.avg_task_time),
+            format!("{:.1}", tf_a.avg_task_time),
+        ],
+        vec![
+            "FinalTaskTime, simulated (s)".into(),
+            format!("{:.1}", rf_s.final_task_time().unwrap().as_secs_f64()),
+            format!("{:.1}", tf_s.final_task_time().unwrap().as_secs_f64()),
+        ],
+        vec![
+            "AvgTaskTime, simulated (s)".into(),
+            format!("{:.1}", rf_s.avg_task_time().unwrap().as_secs_f64()),
+            format!("{:.1}", tf_s.avg_task_time().unwrap().as_secs_f64()),
+        ],
+        vec![
+            "AggrThruput, fluid (Mb/s)".into(),
+            mbps(rf_fluid.total_goodput_mbps),
+            mbps(tf_fluid.total_goodput_mbps),
+        ],
+    ];
+    print_table(&["measure", "RF", "TF"], &rows);
+    println!();
+    println!("shape to check (paper Table 1): RF better on R-gap, TF better on");
+    println!("T-gap; FinalTaskTime the same; AvgTaskTime and AggrThruput better");
+    println!("under TF.");
+}
+
+fn airtime_bench_fluid(sched: SchedulerKind) -> airtime_wlan::NetworkConfig {
+    let mut cfg = scenarios::uploaders(&[DataRate::B11, DataRate::B1], sched);
+    cfg.duration = airtime_sim::SimDuration::from_secs(60);
+    cfg.warmup = airtime_sim::SimDuration::from_secs(5);
+    cfg
+}

@@ -1,0 +1,23 @@
+//! Table 2 — baseline throughput γ(d, 1500, 2): total TCP throughput of
+//! two same-rate uploaders, per rate.
+
+use airtime_bench::{mbps, measure, print_table};
+use airtime_model::{gamma_measured, gamma_tcp_table2};
+use airtime_phy::DataRate;
+use airtime_wlan::{scenarios, SchedulerKind};
+
+fn main() {
+    println!("Table 2: baseline throughput gamma(d, s=1500B, n=2), TCP uplink\n");
+    let mut rows = Vec::new();
+    for rate in DataRate::ALL_B.iter().rev() {
+        let cfg = scenarios::uploaders(&[*rate, *rate], SchedulerKind::Fifo);
+        let r = measure(cfg);
+        rows.push(vec![
+            rate.to_string(),
+            mbps(r.total_goodput_mbps),
+            mbps(gamma_tcp_table2(*rate)),
+            mbps(gamma_measured(*rate).unwrap_or(f64::NAN)),
+        ]);
+    }
+    print_table(&["rate", "simulated (Mb/s)", "closed-form", "paper"], &rows);
+}

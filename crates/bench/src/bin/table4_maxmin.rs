@@ -1,0 +1,42 @@
+//! Table 4 — the max-min rate-adjustment check: two 11 Mbit/s
+//! uploaders, n2 application-limited to 2.1 Mbit/s.
+
+use airtime_bench::{mbps, measure, print_table};
+use airtime_wlan::{scenarios, SchedulerKind};
+
+fn main() {
+    println!("Table 4: n2 app-limited to 2.1 Mb/s, n1 unconstrained, both 11M\n");
+    let normal = measure(scenarios::bottleneck_table4(SchedulerKind::Fifo));
+    let tbr = measure(scenarios::bottleneck_table4(SchedulerKind::tbr()));
+    let rows = vec![
+        vec![
+            "n1".into(),
+            mbps(normal.flows[0].goodput_mbps),
+            mbps(tbr.flows[0].goodput_mbps),
+            "2.9434".into(),
+            "2.9542".into(),
+        ],
+        vec![
+            "n2".into(),
+            mbps(normal.flows[1].goodput_mbps),
+            mbps(tbr.flows[1].goodput_mbps),
+            "2.1276".into(),
+            "2.1193".into(),
+        ],
+        vec![
+            "total".into(),
+            mbps(normal.total_goodput_mbps),
+            mbps(tbr.total_goodput_mbps),
+            "5.071".into(),
+            "5.061".into(),
+        ],
+    ];
+    print_table(
+        &["node", "Exp-Normal", "Exp-TBR", "paper Normal", "paper TBR"],
+        &rows,
+    );
+    println!();
+    println!("shape to check (paper Table 4): no significant difference between");
+    println!("Normal and TBR — ADJUSTRATEEVENT reassigns n2's unused share to n1");
+    println!("instead of idling the channel.");
+}

@@ -1,0 +1,159 @@
+//! Fairness measurement helpers.
+//!
+//! The paper's fairness measure between equal-priority nodes *i* and *j*
+//! over an interval is `|αᵢ − αⱼ|`, where α is the achieved share of the
+//! contested resource — throughput for RF, channel occupancy time for TF
+//! (§2.1). For more than two nodes we report the worst pair, i.e.
+//! `max α − min α`.
+
+use airtime_sim::SimDuration;
+
+/// Worst-case pairwise allocation gap `max αᵢ − min αⱼ` (the paper's
+/// fairness measure generalised to n nodes). Zero means perfectly fair;
+/// empty input yields zero.
+pub fn throughput_gap(alloc: &[f64]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &a in alloc {
+        min = min.min(a);
+        max = max.max(a);
+    }
+    if alloc.is_empty() {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+/// Normalises per-client occupancy durations into fractions of their
+/// sum — the paper's T(i) under the saturation assumption Σ T(i) = 1.
+/// All-zero input yields all-zero shares.
+pub fn airtime_shares(occupancy: &[SimDuration]) -> Vec<f64> {
+    let total: f64 = occupancy.iter().map(|d| d.as_secs_f64()).sum();
+    if total <= 0.0 {
+        return vec![0.0; occupancy.len()];
+    }
+    occupancy.iter().map(|d| d.as_secs_f64() / total).collect()
+}
+
+/// Reference max-min fair allocation (water-filling).
+///
+/// Distributes `capacity` among entities with the given `demands`: no
+/// entity gets more than its demand, the smallest allocation is as large
+/// as possible, then the second smallest, and so on (§4.3's constraint,
+/// after Bertsekas & Gallager). Used as ground truth when testing TBR's
+/// ADJUSTRATEEVENT convergence.
+///
+/// # Panics
+///
+/// Panics if `capacity` is negative or any demand is negative.
+pub fn max_min_allocation(capacity: f64, demands: &[f64]) -> Vec<f64> {
+    assert!(capacity >= 0.0, "capacity must be non-negative");
+    assert!(
+        demands.iter().all(|&d| d >= 0.0),
+        "demands must be non-negative"
+    );
+    let n = demands.len();
+    let mut alloc = vec![0.0; n];
+    let mut remaining = capacity;
+    let mut unsated: Vec<usize> = (0..n).collect();
+    loop {
+        unsated.retain(|&i| alloc[i] < demands[i]);
+        if unsated.is_empty() || remaining <= 1e-15 {
+            break;
+        }
+        let share = remaining / unsated.len() as f64;
+        let mut consumed = 0.0;
+        for &i in &unsated {
+            let want = demands[i] - alloc[i];
+            let give = want.min(share);
+            alloc[i] += give;
+            consumed += give;
+        }
+        remaining -= consumed;
+        if consumed <= 1e-15 {
+            break;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_cases() {
+        assert_eq!(throughput_gap(&[]), 0.0);
+        assert_eq!(throughput_gap(&[5.0]), 0.0);
+        assert_eq!(throughput_gap(&[1.0, 1.0, 1.0]), 0.0);
+        assert!((throughput_gap(&[0.2, 0.5, 0.3]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_normalise() {
+        let occ = [SimDuration::from_millis(100), SimDuration::from_millis(300)];
+        let s = airtime_shares(&occ);
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!((s[1] - 0.75).abs() < 1e-12);
+        assert_eq!(airtime_shares(&[SimDuration::ZERO; 3]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn max_min_all_demands_met_when_capacity_suffices() {
+        let a = max_min_allocation(10.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(a, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn max_min_equal_split_when_all_greedy() {
+        let a = max_min_allocation(1.0, &[10.0, 10.0, 10.0, 10.0]);
+        for x in a {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_min_redistributes_unused_share() {
+        // The paper's §4.3 example: 3 uplink TCP flows, one can only use
+        // 1/5 of the channel; the other two get 2/5 each.
+        let a = max_min_allocation(1.0, &[0.2, 10.0, 10.0]);
+        assert!((a[0] - 0.2).abs() < 1e-12);
+        assert!((a[1] - 0.4).abs() < 1e-12);
+        assert!((a[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_multi_level_waterfill() {
+        let a = max_min_allocation(10.0, &[1.0, 3.0, 100.0]);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert!((a[1] - 3.0).abs() < 1e-12);
+        assert!((a[2] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_zero_capacity() {
+        assert_eq!(max_min_allocation(0.0, &[1.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_min_smallest_allocation_is_maximal() {
+        // Property: in a max-min allocation, no transfer from a larger
+        // allocation can raise the minimum unmet one.
+        let demands = [0.3, 0.8, 0.1, 2.0, 0.6];
+        let a = max_min_allocation(1.0, &demands);
+        let total: f64 = a.iter().sum();
+        assert!(total <= 1.0 + 1e-9);
+        for i in 0..a.len() {
+            assert!(a[i] <= demands[i] + 1e-12);
+        }
+        // Unsatisfied entities all sit at the same (maximal) level.
+        let unsat: Vec<f64> = (0..a.len())
+            .filter(|&i| a[i] < demands[i] - 1e-9)
+            .map(|i| a[i])
+            .collect();
+        for w in unsat.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "unsat levels differ: {unsat:?}");
+        }
+    }
+}

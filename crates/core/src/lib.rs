@@ -1,0 +1,52 @@
+//! Time-based fairness for multi-rate WLANs.
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! **TBR, the Time-based Regulator** (§4), an AP-side packet regulator
+//! that gives each competing client an equal (or weighted) share of
+//! *channel occupancy time* instead of an equal share of throughput.
+//!
+//! The crate is deliberately independent of the MAC simulator: TBR is a
+//! pure state machine driven by the paper's five event handlers
+//! (associate / fill / app-tx / mac-tx / complete) plus the periodic
+//! rate-adjustment event, exactly as it would be embedded in a real AP
+//! driver (the authors patched the Linux HostAP driver; `airtime-wlan`
+//! embeds the same object into the simulated AP).
+//!
+//! Alongside TBR, [`scheduler`] provides the throughput-fair baselines
+//! the paper compares against — the plain shared FIFO of a stock AP, a
+//! per-client round-robin, and Deficit Round Robin (their citation \[24\])
+//! — all behind one [`ApScheduler`] trait so experiments can swap the
+//! discipline with one line. [`fairness`] has the measurement helpers
+//! (airtime/throughput gaps, Jain index, reference max-min allocation).
+//!
+//! # Examples
+//!
+//! ```
+//! use airtime_core::{ApScheduler, ClientId, QueuedPacket, TbrConfig, TbrScheduler};
+//! use airtime_sim::{SimDuration, SimTime};
+//!
+//! let mut tbr = TbrScheduler::new(TbrConfig::default());
+//! let now = SimTime::ZERO;
+//! tbr.on_associate(ClientId(0), now);
+//! tbr.on_associate(ClientId(1), now);
+//! tbr.enqueue(QueuedPacket { client: ClientId(0), handle: 7, bytes: 1500 }, now);
+//! let pkt = tbr.dequeue(now).expect("tokens start positive");
+//! assert_eq!(pkt.handle, 7);
+//! // The MAC reports how much channel time the exchange consumed:
+//! tbr.on_complete(ClientId(0), SimDuration::from_micros(1617), true, now);
+//! ```
+
+pub mod buffer;
+pub mod fairness;
+pub mod scheduler;
+pub mod tbr;
+pub mod txop;
+
+pub use buffer::{BufferPolicy, RedConfig};
+pub use fairness::{airtime_shares, max_min_allocation, throughput_gap};
+pub use scheduler::{
+    ApScheduler, ClientId, DrrScheduler, EnqueueOutcome, FifoScheduler, QueuedPacket,
+    RoundRobinScheduler,
+};
+pub use tbr::{TbrConfig, TbrScheduler};
+pub use txop::{TxopConfig, TxopScheduler};

@@ -1,0 +1,607 @@
+//! The AP scheduler abstraction and the throughput-fair baselines.
+//!
+//! The paper's Exp-Normal configuration is a stock AP: one shared
+//! drop-tail interface queue ([`FifoScheduler`]). Commodity APs of the
+//! era effectively served clients round-robin ([`RoundRobinScheduler`],
+//! §2.4: "the AP queuing scheme … usually transmits to wireless clients
+//! in a round-robin manner"), and the wired-style fair-queuing baseline
+//! the paper cites is Deficit Round Robin ([`DrrScheduler`], their
+//! reference \[24\]). All of these are *throughput-based* fair: with equal
+//! packet sizes they equalise packets (hence bytes) per client, letting
+//! slow clients hog airtime. The time-based alternative is
+//! [`crate::TbrScheduler`].
+
+use airtime_sim::{SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+use crate::buffer::{BufferPolicy, RedState};
+
+/// Identifier of an associated client station, as the AP driver sees it
+/// (the real implementation keys on the 6-byte MAC address; an index is
+/// isomorphic and cheaper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClientId(pub usize);
+
+impl ClientId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A packet queued at the AP for downlink transmission to `client`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueuedPacket {
+    /// Destination client (for uplink TCP flows this is the client whose
+    /// acks these are — the regulated entity either way).
+    pub client: ClientId,
+    /// Opaque upper-layer cookie.
+    pub handle: u64,
+    /// Size on the wire in bytes.
+    pub bytes: u64,
+}
+
+/// Result of offering a packet to the scheduler's buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnqueueOutcome {
+    /// Buffered.
+    Accepted,
+    /// Rejected by the drop-tail policy (buffer full).
+    Dropped,
+}
+
+/// An AP packet-scheduling discipline.
+///
+/// The paper's event names map onto this trait as follows:
+/// ASSOCIATEEVENT → [`on_associate`](ApScheduler::on_associate),
+/// APPTXEVENT → [`enqueue`](ApScheduler::enqueue),
+/// MACTXEVENT → [`dequeue`](ApScheduler::dequeue),
+/// COMPLETEEVENT → [`on_complete`](ApScheduler::on_complete),
+/// FILLEVENT/ADJUSTRATEEVENT → [`on_tick`](ApScheduler::on_tick)
+/// (driven at [`tick_period`](ApScheduler::tick_period)).
+pub trait ApScheduler {
+    /// A client joined the cell.
+    fn on_associate(&mut self, client: ClientId, now: SimTime);
+
+    /// The network layer has a packet for `client` (APPTXEVENT).
+    fn enqueue(&mut self, pkt: QueuedPacket, now: SimTime) -> EnqueueOutcome;
+
+    /// The MAC is ready for a frame (MACTXEVENT): pick one, if any
+    /// client is currently eligible.
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket>;
+
+    /// A frame exchange involving `client` finished, consuming `airtime`
+    /// of channel occupancy (COMPLETEEVENT). `sent_by_ap` distinguishes
+    /// downlink from uplink frames; both debit the same client.
+    fn on_complete(
+        &mut self,
+        client: ClientId,
+        airtime: SimDuration,
+        sent_by_ap: bool,
+        now: SimTime,
+    );
+
+    /// Periodic maintenance (token refill, rate adjustment).
+    fn on_tick(&mut self, now: SimTime);
+
+    /// How often [`on_tick`](ApScheduler::on_tick) must run; `None` for
+    /// disciplines that need no timer.
+    fn tick_period(&self) -> Option<SimDuration>;
+
+    /// Total packets currently buffered.
+    fn backlog(&self) -> usize;
+
+    /// Packets currently buffered for `client` (for disciplines with a
+    /// single shared queue, the shared occupancy). Lets traffic sources
+    /// apply upstream back-pressure instead of blind-feeding a full
+    /// buffer.
+    fn queue_len(&self, client: ClientId) -> usize;
+
+    /// True when [`dequeue`](ApScheduler::dequeue) would return a packet.
+    fn has_eligible(&self, now: SimTime) -> bool;
+
+    /// Packets dropped by the buffer policy so far.
+    fn drops(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------
+
+/// A stock AP's single shared drop-tail queue (the paper's Exp-Normal:
+/// "the kernel interface queue (with the maximum size of 110) is used to
+/// store packets").
+pub struct FifoScheduler {
+    queue: VecDeque<QueuedPacket>,
+    capacity: usize,
+    drops: u64,
+}
+
+impl FifoScheduler {
+    /// Creates a FIFO with the given packet capacity.
+    pub fn new(capacity: usize) -> Self {
+        FifoScheduler {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            drops: 0,
+        }
+    }
+}
+
+impl Default for FifoScheduler {
+    /// The paper's 110-packet kernel interface queue.
+    fn default() -> Self {
+        FifoScheduler::new(110)
+    }
+}
+
+impl ApScheduler for FifoScheduler {
+    fn on_associate(&mut self, _client: ClientId, _now: SimTime) {}
+
+    fn enqueue(&mut self, pkt: QueuedPacket, _now: SimTime) -> EnqueueOutcome {
+        if self.queue.len() >= self.capacity {
+            self.drops += 1;
+            EnqueueOutcome::Dropped
+        } else {
+            self.queue.push_back(pkt);
+            EnqueueOutcome::Accepted
+        }
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
+        self.queue.pop_front()
+    }
+
+    fn on_complete(
+        &mut self,
+        _client: ClientId,
+        _airtime: SimDuration,
+        _sent_by_ap: bool,
+        _now: SimTime,
+    ) {
+    }
+
+    fn on_tick(&mut self, _now: SimTime) {}
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queue_len(&self, _client: ClientId) -> usize {
+        self.queue.len()
+    }
+
+    fn has_eligible(&self, _now: SimTime) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-client queue pool shared by RR / DRR / TBR
+// ---------------------------------------------------------------------
+
+/// Per-client drop-tail queues with a shared total budget, as in the
+/// paper's §4.4: an AP with total buffer x serves n clients with n
+/// queues of x/n packets each.
+pub(crate) struct QueuePool {
+    pub(crate) queues: Vec<VecDeque<QueuedPacket>>,
+    pub(crate) clients: Vec<ClientId>,
+    total_budget: usize,
+    drops: u64,
+    policy: BufferPolicy,
+    red: Vec<RedState>,
+    rng: SimRng,
+}
+
+impl QueuePool {
+    pub(crate) fn new(total_budget: usize) -> Self {
+        Self::with_policy(total_budget, BufferPolicy::DropTail)
+    }
+
+    pub(crate) fn with_policy(total_budget: usize, policy: BufferPolicy) -> Self {
+        QueuePool {
+            queues: Vec::new(),
+            clients: Vec::new(),
+            total_budget: total_budget.max(1),
+            drops: 0,
+            policy,
+            red: Vec::new(),
+            // Deterministic: the pool's RED randomness is part of the
+            // scheduler's state, seeded the same every run.
+            rng: SimRng::new(0x52ED_0BFF),
+        }
+    }
+
+    pub(crate) fn slot_of(&self, client: ClientId) -> Option<usize> {
+        self.clients.iter().position(|&c| c == client)
+    }
+
+    pub(crate) fn add_client(&mut self, client: ClientId) -> usize {
+        match self.slot_of(client) {
+            Some(i) => i,
+            None => {
+                self.clients.push(client);
+                self.queues.push(VecDeque::new());
+                self.red.push(RedState::default());
+                self.queues.len() - 1
+            }
+        }
+    }
+
+    pub(crate) fn per_queue_cap(&self) -> usize {
+        (self.total_budget / self.queues.len().max(1)).max(1)
+    }
+
+    pub(crate) fn enqueue(&mut self, pkt: QueuedPacket) -> EnqueueOutcome {
+        let slot = self.add_client(pkt.client);
+        let cap = self.per_queue_cap();
+        let len = self.queues[slot].len();
+        if self.red[slot].should_drop(&self.policy, len, cap, &mut self.rng) {
+            self.drops += 1;
+            EnqueueOutcome::Dropped
+        } else {
+            self.queues[slot].push_back(pkt);
+            EnqueueOutcome::Accepted
+        }
+    }
+
+    pub(crate) fn backlog(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    pub(crate) fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round robin
+// ---------------------------------------------------------------------
+
+/// Packet-granularity round robin over per-client queues — equal
+/// *transmission opportunities* per client, i.e. the downlink analogue
+/// of DCF's fairness notion.
+pub struct RoundRobinScheduler {
+    pool: QueuePool,
+    next: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler with a shared buffer budget.
+    pub fn new(total_budget: usize) -> Self {
+        RoundRobinScheduler {
+            pool: QueuePool::new(total_budget),
+            next: 0,
+        }
+    }
+}
+
+impl Default for RoundRobinScheduler {
+    fn default() -> Self {
+        RoundRobinScheduler::new(100)
+    }
+}
+
+impl ApScheduler for RoundRobinScheduler {
+    fn on_associate(&mut self, client: ClientId, _now: SimTime) {
+        self.pool.add_client(client);
+    }
+
+    fn enqueue(&mut self, pkt: QueuedPacket, _now: SimTime) -> EnqueueOutcome {
+        self.pool.enqueue(pkt)
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
+        let n = self.pool.len();
+        for k in 0..n {
+            let i = (self.next + k) % n;
+            if let Some(pkt) = self.pool.queues[i].pop_front() {
+                self.next = (i + 1) % n;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    fn on_complete(
+        &mut self,
+        _client: ClientId,
+        _airtime: SimDuration,
+        _sent_by_ap: bool,
+        _now: SimTime,
+    ) {
+    }
+
+    fn on_tick(&mut self, _now: SimTime) {}
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn backlog(&self) -> usize {
+        self.pool.backlog()
+    }
+
+    fn queue_len(&self, client: ClientId) -> usize {
+        self.pool
+            .slot_of(client)
+            .map_or(0, |i| self.pool.queues[i].len())
+    }
+
+    fn has_eligible(&self, _now: SimTime) -> bool {
+        self.pool.backlog() > 0
+    }
+
+    fn drops(&self) -> u64 {
+        self.pool.drops()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deficit round robin
+// ---------------------------------------------------------------------
+
+/// Deficit Round Robin (Shreedhar & Varghese) — byte-granularity
+/// throughput fairness even with mixed packet sizes. Still
+/// throughput-based: it equalises *bytes*, not channel time, so a slow
+/// client's bytes cost the cell far more airtime.
+pub struct DrrScheduler {
+    pool: QueuePool,
+    deficits: Vec<u64>,
+    quantum: u64,
+    next: usize,
+    /// Queue currently being drained within its round's deficit.
+    in_service: Option<usize>,
+}
+
+impl DrrScheduler {
+    /// Creates a DRR scheduler with the given buffer budget and byte
+    /// quantum (use at least the MTU so every round can send).
+    pub fn new(total_budget: usize, quantum: u64) -> Self {
+        DrrScheduler {
+            pool: QueuePool::new(total_budget),
+            deficits: Vec::new(),
+            quantum: quantum.max(1),
+            next: 0,
+            in_service: None,
+        }
+    }
+
+    fn serve(&mut self, i: usize) -> Option<QueuedPacket> {
+        let front = *self.pool.queues[i].front()?;
+        if self.deficits[i] < front.bytes {
+            return None;
+        }
+        self.deficits[i] -= front.bytes;
+        let pkt = self.pool.queues[i].pop_front();
+        if self.pool.queues[i].is_empty() {
+            // An emptied queue forfeits its deficit (standard DRR).
+            self.deficits[i] = 0;
+            self.in_service = None;
+        } else {
+            self.in_service = Some(i);
+        }
+        pkt
+    }
+}
+
+impl Default for DrrScheduler {
+    fn default() -> Self {
+        DrrScheduler::new(100, 1500)
+    }
+}
+
+impl ApScheduler for DrrScheduler {
+    fn on_associate(&mut self, client: ClientId, _now: SimTime) {
+        let slot = self.pool.add_client(client);
+        if slot >= self.deficits.len() {
+            self.deficits.push(0);
+        }
+    }
+
+    fn enqueue(&mut self, pkt: QueuedPacket, _now: SimTime) -> EnqueueOutcome {
+        let slot = self.pool.add_client(pkt.client);
+        if slot >= self.deficits.len() {
+            self.deficits.push(0);
+        }
+        self.pool.enqueue(pkt)
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<QueuedPacket> {
+        let n = self.pool.len();
+        if n == 0 || self.pool.backlog() == 0 {
+            return None;
+        }
+        // Continue draining the queue whose round is in progress.
+        if let Some(i) = self.in_service {
+            if let Some(pkt) = self.serve(i) {
+                return Some(pkt);
+            }
+            // Deficit exhausted: its round is over.
+            self.in_service = None;
+            self.next = (i + 1) % n;
+        }
+        // Walk the round, granting each backlogged queue its quantum as
+        // it is visited; a packet larger than quantum + deficit carries
+        // the deficit to the next round. Two sweeps guarantee progress
+        // for any front packet ≤ 2 quanta; the quantum is sized ≥ MTU so
+        // one sweep normally suffices.
+        for _ in 0..2 * n {
+            let i = self.next;
+            self.next = (i + 1) % n;
+            if self.pool.queues[i].is_empty() {
+                self.deficits[i] = 0;
+                continue;
+            }
+            self.deficits[i] += self.quantum;
+            if let Some(pkt) = self.serve(i) {
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    fn on_complete(
+        &mut self,
+        _client: ClientId,
+        _airtime: SimDuration,
+        _sent_by_ap: bool,
+        _now: SimTime,
+    ) {
+    }
+
+    fn on_tick(&mut self, _now: SimTime) {}
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn backlog(&self) -> usize {
+        self.pool.backlog()
+    }
+
+    fn queue_len(&self, client: ClientId) -> usize {
+        self.pool
+            .slot_of(client)
+            .map_or(0, |i| self.pool.queues[i].len())
+    }
+
+    fn has_eligible(&self, _now: SimTime) -> bool {
+        self.pool.backlog() > 0
+    }
+
+    fn drops(&self) -> u64 {
+        self.pool.drops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(client: usize, handle: u64, bytes: u64) -> QueuedPacket {
+        QueuedPacket {
+            client: ClientId(client),
+            handle,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn fifo_is_first_in_first_out_and_droptail() {
+        let mut f = FifoScheduler::new(2);
+        let now = SimTime::ZERO;
+        assert_eq!(f.enqueue(pkt(0, 1, 100), now), EnqueueOutcome::Accepted);
+        assert_eq!(f.enqueue(pkt(1, 2, 100), now), EnqueueOutcome::Accepted);
+        assert_eq!(f.enqueue(pkt(0, 3, 100), now), EnqueueOutcome::Dropped);
+        assert_eq!(f.drops(), 1);
+        assert_eq!(f.backlog(), 2);
+        assert!(f.has_eligible(now));
+        assert_eq!(f.dequeue(now).unwrap().handle, 1);
+        assert_eq!(f.dequeue(now).unwrap().handle, 2);
+        assert!(f.dequeue(now).is_none());
+    }
+
+    #[test]
+    fn rr_alternates_between_backlogged_clients() {
+        let mut s = RoundRobinScheduler::new(100);
+        let now = SimTime::ZERO;
+        s.on_associate(ClientId(0), now);
+        s.on_associate(ClientId(1), now);
+        for h in 0..4 {
+            s.enqueue(pkt(0, h, 1500), now);
+            s.enqueue(pkt(1, 100 + h, 1500), now);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(now).map(|p| p.handle))
+            .take(4)
+            .collect();
+        assert_eq!(order, vec![0, 100, 1, 101]);
+    }
+
+    #[test]
+    fn rr_skips_empty_queues() {
+        let mut s = RoundRobinScheduler::new(100);
+        let now = SimTime::ZERO;
+        s.on_associate(ClientId(0), now);
+        s.on_associate(ClientId(1), now);
+        s.on_associate(ClientId(2), now);
+        s.enqueue(pkt(2, 9, 500), now);
+        assert_eq!(s.dequeue(now).unwrap().handle, 9);
+        assert!(s.dequeue(now).is_none());
+    }
+
+    #[test]
+    fn pool_splits_budget_per_client() {
+        let mut s = RoundRobinScheduler::new(10);
+        let now = SimTime::ZERO;
+        s.on_associate(ClientId(0), now);
+        s.on_associate(ClientId(1), now);
+        // 10 / 2 = 5 per queue.
+        for h in 0..5 {
+            assert_eq!(s.enqueue(pkt(0, h, 100), now), EnqueueOutcome::Accepted);
+        }
+        assert_eq!(s.enqueue(pkt(0, 99, 100), now), EnqueueOutcome::Dropped);
+        assert_eq!(s.enqueue(pkt(1, 50, 100), now), EnqueueOutcome::Accepted);
+    }
+
+    #[test]
+    fn drr_equalises_bytes_with_mixed_packet_sizes() {
+        let mut s = DrrScheduler::new(1000, 1500);
+        let now = SimTime::ZERO;
+        s.on_associate(ClientId(0), now);
+        s.on_associate(ClientId(1), now);
+        // Client 0 sends 1500-byte packets, client 1 sends 500-byte.
+        for h in 0..200 {
+            s.enqueue(pkt(0, h, 1500), now);
+            s.enqueue(pkt(1, 1000 + 3 * h, 500), now);
+            s.enqueue(pkt(1, 1001 + 3 * h, 500), now);
+            s.enqueue(pkt(1, 1002 + 3 * h, 500), now);
+        }
+        let mut bytes = [0u64; 2];
+        for _ in 0..120 {
+            let p = s.dequeue(now).expect("backlogged");
+            bytes[p.client.index()] += p.bytes;
+        }
+        let ratio = bytes[0] as f64 / bytes[1] as f64;
+        assert!((0.8..1.25).contains(&ratio), "byte ratio {ratio}");
+    }
+
+    #[test]
+    fn drr_returns_none_when_empty() {
+        let mut s = DrrScheduler::default();
+        s.on_associate(ClientId(0), SimTime::ZERO);
+        assert!(s.dequeue(SimTime::ZERO).is_none());
+        assert!(!s.has_eligible(SimTime::ZERO));
+    }
+
+    #[test]
+    fn drr_single_queue_drains_in_order() {
+        let mut s = DrrScheduler::new(100, 1500);
+        let now = SimTime::ZERO;
+        for h in 0..5 {
+            s.enqueue(pkt(0, h, 1500), now);
+        }
+        for h in 0..5 {
+            assert_eq!(s.dequeue(now).unwrap().handle, h);
+        }
+        assert!(s.dequeue(now).is_none());
+    }
+}

@@ -1,0 +1,728 @@
+//! TBR — the Time-based Regulator (§4 of the paper).
+//!
+//! TBR runs at the AP, above the MAC and below the network layer, and
+//! regulates packet release so that every competing client receives an
+//! equal (or weighted) long-term share of *channel occupancy time*. It
+//! is a leaky/token bucket per client whose token unit is **channel time
+//! in microseconds**, not bytes — that single design choice is what
+//! turns throughput-based fairness into time-based fairness:
+//!
+//! - **ASSOCIATEEVENT** ([`TbrScheduler::on_associate`]): create the
+//!   client's queue, initialise `tokens`, `bucket` and `rate`.
+//! - **FILLEVENT** (inside [`TbrScheduler::on_tick`]): add
+//!   `elapsed × rateᵢ` tokens, capped at `bucketᵢ`.
+//! - **APPTXEVENT** ([`TbrScheduler::enqueue`]): queue a packet on its
+//!   client's queue (any buffer policy works; drop-tail here, §4.4).
+//! - **MACTXEVENT** ([`TbrScheduler::dequeue`]): when the MAC can take a
+//!   frame, pick round-robin among queues that are non-empty *and* have
+//!   positive tokens. Round-robin choice only affects short-term
+//!   fairness, not correctness (§4.1).
+//! - **COMPLETEEVENT** ([`TbrScheduler::on_complete`]): debit the
+//!   client's tokens by the exchange's measured channel occupancy —
+//!   including retransmissions, and for *both* uplink and downlink
+//!   frames, since the AP is only a facilitator (§2.2).
+//! - **ADJUSTRATEEVENT** (inside [`TbrScheduler::on_tick`]): keep the
+//!   channel fully utilised without violating max-min fairness by
+//!   moving rate from the most under-utilising client (half its excess
+//!   at a time) to the clients that consumed their full allocation
+//!   (§4.3, Figure 7).
+//!
+//! Uplink TCP needs no client cooperation: the acks of an uplink flow
+//! are downlink packets through these queues, so exhausted tokens stall
+//! the acks and ack-clocking throttles the sender. Uplink UDP requires
+//! the optional client-side defer (the notification-bit mechanism of
+//! §4.1), which `airtime-wlan` implements as an extension.
+
+use airtime_sim::{SimDuration, SimTime};
+
+use crate::buffer::BufferPolicy;
+use crate::scheduler::{ApScheduler, ClientId, EnqueueOutcome, QueuePool, QueuedPacket};
+
+/// Tunables for [`TbrScheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct TbrConfig {
+    /// FILLEVENT period (token refill granularity).
+    pub fill_period: SimDuration,
+    /// ADJUSTRATEEVENT period.
+    pub adjust_period: SimDuration,
+    /// Bucket depth: the maximum burst of channel time a client can
+    /// accumulate (§4.5 discusses its short-term-fairness impact).
+    pub bucket: SimDuration,
+    /// Token balance at association (the paper's `T_init`).
+    pub initial_tokens: SimDuration,
+    /// `R_th`: a client whose unused fraction of its rate exceeds this
+    /// is considered under-utilising by the rate adjuster.
+    pub excess_threshold: f64,
+    /// A client only donates rate if its queue was empty for more than
+    /// `1 − demand_threshold` of the adjustment window. This guards the
+    /// adjuster against misreading scheduling friction (token-bucket
+    /// caps, contention gaps) of a fully backlogged client as lack of
+    /// demand, which would otherwise drift rates away from fair shares.
+    pub demand_threshold: f64,
+    /// Rate floor: adjustment never pushes a client below this share,
+    /// so a returning client can always ramp back up.
+    pub min_rate: f64,
+    /// A client must look under-demanding for this many consecutive
+    /// adjustment windows before it donates rate. TCP traffic through a
+    /// binding token gate is bursty (acks pile up and release together),
+    /// so single-window excess alternates; genuine low demand (an
+    /// application-limited sender) persists across windows.
+    pub donation_streak: u32,
+    /// Per-adjustment relaxation of every rate toward its weighted fair
+    /// share. Donations taken on the basis of a transient (e.g. a
+    /// client that looked idle while DCF starved it) heal instead of
+    /// compounding; persistent genuine under-demand keeps winning
+    /// because fresh donations outpace the relaxation.
+    pub restitution: f64,
+    /// Total packet buffer split evenly across client queues (§4.4).
+    pub total_buffer: usize,
+    /// Drop policy for those queues (§4.1: "TBR works with any
+    /// buffering scheme").
+    pub buffer: BufferPolicy,
+}
+
+impl Default for TbrConfig {
+    fn default() -> Self {
+        TbrConfig {
+            fill_period: SimDuration::from_millis(2),
+            adjust_period: SimDuration::from_secs(1),
+            bucket: SimDuration::from_millis(20),
+            initial_tokens: SimDuration::from_millis(5),
+            excess_threshold: 0.10,
+            demand_threshold: 0.5,
+            min_rate: 0.02,
+            donation_streak: 2,
+            restitution: 0.1,
+            total_buffer: 100,
+            buffer: BufferPolicy::DropTail,
+        }
+    }
+}
+
+struct ClientState {
+    /// Channel-time balance in nanoseconds (may be negative).
+    tokens: f64,
+    /// Token refill rate as a fraction of wall-clock time.
+    rate: f64,
+    /// QoS weight (1.0 = equal share).
+    weight: f64,
+    /// Channel time consumed since `start` (the paper's `actualᵢ`).
+    actual: f64,
+    start: SimTime,
+    /// Accumulated wall time with a non-empty queue since `start`.
+    demand_time: f64,
+    /// When the queue last became non-empty, if it is now.
+    backlog_since: Option<SimTime>,
+    /// Consecutive adjustment windows this client looked under-demanding.
+    low_demand_streak: u32,
+    /// Smoothed share of consumed airtime across adjustment windows.
+    usage_ewma: Option<f64>,
+}
+
+/// The Time-based Regulator.
+pub struct TbrScheduler {
+    config: TbrConfig,
+    pool: QueuePool,
+    states: Vec<ClientState>,
+    next_rr: usize,
+    last_fill: SimTime,
+    last_adjust: SimTime,
+    /// Total channel time debited, per client (measurement).
+    debited: Vec<f64>,
+}
+
+impl TbrScheduler {
+    /// Creates an empty regulator.
+    pub fn new(config: TbrConfig) -> Self {
+        TbrScheduler {
+            pool: QueuePool::with_policy(config.total_buffer, config.buffer),
+            config,
+            states: Vec::new(),
+            next_rr: 0,
+            last_fill: SimTime::ZERO,
+            last_adjust: SimTime::ZERO,
+            debited: Vec::new(),
+        }
+    }
+
+    /// Associates `client` with a QoS weight (the §4.5 extension: the
+    /// desired share need not be equal). Weight 1.0 is the paper's
+    /// default equal share.
+    pub fn on_associate_weighted(&mut self, client: ClientId, weight: f64, now: SimTime) {
+        assert!(weight > 0.0, "weight must be positive");
+        let slot = self.pool.add_client(client);
+        if slot >= self.states.len() {
+            self.states.push(ClientState {
+                tokens: self.config.initial_tokens.as_nanos() as f64,
+                rate: 0.0,
+                weight,
+                actual: 0.0,
+                start: now,
+                demand_time: 0.0,
+                backlog_since: None,
+                low_demand_streak: 0,
+                usage_ewma: None,
+            });
+            self.debited.push(0.0);
+        } else {
+            self.states[slot].weight = weight;
+        }
+        self.reset_rates(now);
+    }
+
+    /// Resets every rate to its weighted fair share (membership or
+    /// weight changed).
+    fn reset_rates(&mut self, now: SimTime) {
+        let total_w: f64 = self.states.iter().map(|s| s.weight).sum();
+        for s in &mut self.states {
+            s.rate = s.weight / total_w;
+            s.actual = 0.0;
+            s.start = now;
+        }
+    }
+
+    /// The current token-refill rate (share of channel time) of a
+    /// client, as set by fair share plus rate adjustment.
+    pub fn rate_of(&self, client: ClientId) -> Option<f64> {
+        self.pool.slot_of(client).map(|i| self.states[i].rate)
+    }
+
+    /// Current token balance of a client in (possibly negative)
+    /// nanoseconds of channel time.
+    pub fn tokens_of(&self, client: ClientId) -> Option<f64> {
+        self.pool.slot_of(client).map(|i| self.states[i].tokens)
+    }
+
+    /// Total channel time ever debited to a client.
+    pub fn debited_of(&self, client: ClientId) -> Option<SimDuration> {
+        self.pool
+            .slot_of(client)
+            .map(|i| SimDuration::from_nanos(self.debited[i].max(0.0) as u64))
+    }
+
+    fn fill(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last_fill).as_nanos() as f64;
+        if elapsed <= 0.0 {
+            return;
+        }
+        self.last_fill = now;
+        let cap = self.config.bucket.as_nanos() as f64;
+        for s in &mut self.states {
+            s.tokens = (s.tokens + elapsed * s.rate).min(cap);
+        }
+    }
+
+    fn adjust_rates(&mut self, now: SimTime) {
+        let n = self.states.len();
+        let total_actual: f64 = self.states.iter().map(|s| s.actual).sum();
+        let span_ns = self
+            .states
+            .first()
+            .map(|s| now.saturating_since(s.start).as_nanos() as f64)
+            .unwrap_or(0.0);
+        // Only adjust when the window carried meaningful traffic.
+        let measurable = span_ns > 0.0 && total_actual / span_ns > 0.2;
+        if n >= 2 && measurable {
+            // The paper's §4.3 compares each client's rate with its
+            // achieved usage. We normalise usage by the *total consumed
+            // airtime* rather than wall time: a regulated cell never
+            // consumes 100% of wall time (backoff, gating gaps), so a
+            // wall-time comparison makes every client — including ones
+            // starved by contention — look under-demanding and sends
+            // the adjuster into a donation spiral. Against consumed
+            // airtime, Σ usage = Σ rate = 1 and a fair cell measures
+            // zero excess everywhere.
+            let mut excesses = vec![0.0f64; n];
+            let mut demand_fracs = vec![0.0f64; n];
+            for (i, s) in self.states.iter_mut().enumerate() {
+                let span = now.saturating_since(s.start).as_nanos() as f64;
+                // Smooth the usage share across windows: TCP through a
+                // binding gate is bursty, and reacting to one quiet
+                // window would slowly siphon rate away from a client
+                // that is merely oscillating.
+                let w = s.actual / total_actual;
+                let smoothed = match s.usage_ewma {
+                    Some(prev) => 0.5 * prev + 0.5 * w,
+                    None => w,
+                };
+                s.usage_ewma = Some(smoothed);
+                excesses[i] = s.rate - smoothed;
+                let mut demand = s.demand_time;
+                if let Some(since) = s.backlog_since {
+                    demand += now.saturating_since(since).as_nanos() as f64;
+                }
+                demand_fracs[i] = if span > 0.0 { demand / span } else { 1.0 };
+            }
+            let th = self.config.excess_threshold;
+            let full: Vec<usize> = (0..n).filter(|&i| excesses[i] <= th).collect();
+            // Donors must have spare rate, demonstrably little demand
+            // (a backlogged client that fell short of its rate is
+            // experiencing scheduling friction, not low demand), and a
+            // *persistent* record of it across adjustment windows.
+            for i in 0..n {
+                let looks_idle = excesses[i] > th && demand_fracs[i] < self.config.demand_threshold;
+                if looks_idle {
+                    self.states[i].low_demand_streak += 1;
+                } else {
+                    self.states[i].low_demand_streak = 0;
+                }
+            }
+            let under: Vec<usize> = (0..n)
+                .filter(|&i| self.states[i].low_demand_streak >= self.config.donation_streak)
+                .collect();
+            if !full.is_empty() && !under.is_empty() {
+                // Donate half the maximal excess, respecting the floor.
+                let m = *under
+                    .iter()
+                    .max_by(|&&a, &&b| excesses[a].total_cmp(&excesses[b]))
+                    .expect("non-empty under set");
+                let mut donation = excesses[m] / 2.0;
+                donation = donation.min(self.states[m].rate - self.config.min_rate);
+                if donation > 0.0 {
+                    self.states[m].rate -= donation;
+                    let each = donation / full.len() as f64;
+                    for &j in &full {
+                        self.states[j].rate += each;
+                    }
+                }
+            }
+        }
+        // Restitution: relax every rate toward its weighted fair share.
+        // Sum-preserving because both the rates and the fair shares sum
+        // to one.
+        let total_w: f64 = self.states.iter().map(|s| s.weight).sum();
+        let k = self.config.restitution.clamp(0.0, 1.0);
+        for s in &mut self.states {
+            let fair = s.weight / total_w;
+            s.rate += k * (fair - s.rate);
+        }
+        for s in &mut self.states {
+            s.actual = 0.0;
+            s.start = now;
+            s.demand_time = 0.0;
+            if s.backlog_since.is_some() {
+                s.backlog_since = Some(now);
+            }
+        }
+    }
+}
+
+impl ApScheduler for TbrScheduler {
+    fn on_associate(&mut self, client: ClientId, now: SimTime) {
+        // Idempotent: re-association keeps any explicitly set weight.
+        if self.pool.slot_of(client).is_none() {
+            self.on_associate_weighted(client, 1.0, now);
+        }
+    }
+
+    fn enqueue(&mut self, pkt: QueuedPacket, now: SimTime) -> EnqueueOutcome {
+        if self.pool.slot_of(pkt.client).is_none() {
+            self.on_associate(pkt.client, now);
+        }
+        let slot = self.pool.slot_of(pkt.client).expect("associated above");
+        let was_empty = self.pool.queues[slot].is_empty();
+        let outcome = self.pool.enqueue(pkt);
+        if was_empty
+            && outcome == EnqueueOutcome::Accepted
+            && self.states[slot].backlog_since.is_none()
+        {
+            self.states[slot].backlog_since = Some(now);
+        }
+        outcome
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
+        self.fill(now);
+        let n = self.pool.len();
+        for k in 0..n {
+            let i = (self.next_rr + k) % n;
+            if self.states[i].tokens > 0.0 {
+                if let Some(pkt) = self.pool.queues[i].pop_front() {
+                    self.next_rr = (i + 1) % n;
+                    if self.pool.queues[i].is_empty() {
+                        if let Some(since) = self.states[i].backlog_since.take() {
+                            self.states[i].demand_time +=
+                                now.saturating_since(since).as_nanos() as f64;
+                        }
+                    }
+                    return Some(pkt);
+                }
+            }
+        }
+        None
+    }
+
+    fn on_complete(
+        &mut self,
+        client: ClientId,
+        airtime: SimDuration,
+        _sent_by_ap: bool,
+        now: SimTime,
+    ) {
+        let slot = match self.pool.slot_of(client) {
+            Some(s) => s,
+            None => {
+                // First sign of life from this client was an uplink
+                // frame: associate it on the fly.
+                self.on_associate(client, now);
+                self.pool.slot_of(client).expect("just associated")
+            }
+        };
+        let t = airtime.as_nanos() as f64;
+        let s = &mut self.states[slot];
+        // Debt is never forgiven: a client that consumed more channel
+        // time than its allocation stays silent until the deficit is
+        // repaid — that *is* the regulation. (An earlier draft clamped
+        // the deficit, which quietly subsidised slow clients whose
+        // single exchange exceeded the clamp.)
+        s.tokens -= t;
+        s.actual += t;
+        self.debited[slot] += t;
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        self.fill(now);
+        if now.saturating_since(self.last_adjust) >= self.config.adjust_period {
+            self.last_adjust = now;
+            self.adjust_rates(now);
+        }
+    }
+
+    fn tick_period(&self) -> Option<SimDuration> {
+        Some(self.config.fill_period)
+    }
+
+    fn backlog(&self) -> usize {
+        self.pool.backlog()
+    }
+
+    fn queue_len(&self, client: ClientId) -> usize {
+        self.pool
+            .slot_of(client)
+            .map_or(0, |i| self.pool.queues[i].len())
+    }
+
+    fn has_eligible(&self, _now: SimTime) -> bool {
+        // Tokens refill lazily in `dequeue`, so a queue blocked on
+        // tokens counts as eligible only if a fill "now" would unblock
+        // it; callers that get `true` here but `None` from `dequeue`
+        // should retry at the next tick.
+        (0..self.pool.len()).any(|i| !self.pool.queues[i].is_empty() && self.states[i].tokens > 0.0)
+    }
+
+    fn drops(&self) -> u64 {
+        self.pool.drops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::RoundRobinScheduler;
+
+    const AIRTIME_11M: SimDuration = SimDuration::from_micros(1617); // 1500 B at 11 Mbit/s
+    const AIRTIME_1M: SimDuration = SimDuration::from_micros(12_854); // 1500 B at 1 Mbit/s
+
+    fn pkt(client: usize, bytes: u64) -> QueuedPacket {
+        QueuedPacket {
+            client: ClientId(client),
+            handle: 0,
+            bytes,
+        }
+    }
+
+    /// Drives a scheduler over a synthetic saturated channel where each
+    /// client's packets cost a fixed airtime; returns per-client
+    /// (packets, airtime) after `span`.
+    fn drive_saturated<S: ApScheduler>(
+        sched: &mut S,
+        costs: &[SimDuration],
+        span: SimDuration,
+    ) -> (Vec<u64>, Vec<SimDuration>) {
+        let n = costs.len();
+        let mut now = SimTime::ZERO;
+        for c in 0..n {
+            sched.on_associate(ClientId(c), now);
+        }
+        let end = SimTime::ZERO + span;
+        let tick = sched.tick_period().unwrap_or(SimDuration::from_millis(2));
+        let mut next_tick = SimTime::ZERO + tick;
+        let mut packets = vec![0u64; n];
+        let mut airtime = vec![SimDuration::ZERO; n];
+        while now < end {
+            // Keep every queue topped up (saturation).
+            for c in 0..n {
+                while sched.backlog() < 50 * n {
+                    let before = sched.backlog();
+                    sched.enqueue(pkt(c, 1500), now);
+                    if sched.backlog() == before {
+                        break; // queue full
+                    }
+                }
+            }
+            match sched.dequeue(now) {
+                Some(p) => {
+                    let c = p.client.index();
+                    let cost = costs[c];
+                    now += cost;
+                    packets[c] += 1;
+                    airtime[c] += cost;
+                    sched.on_complete(p.client, cost, true, now);
+                }
+                None => {
+                    now = next_tick.max(now);
+                }
+            }
+            while next_tick <= now {
+                sched.on_tick(next_tick);
+                next_tick += tick;
+            }
+        }
+        (packets, airtime)
+    }
+
+    #[test]
+    fn equal_rates_equal_everything() {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let (packets, airtime) = drive_saturated(
+            &mut tbr,
+            &[AIRTIME_11M, AIRTIME_11M],
+            SimDuration::from_secs(20),
+        );
+        let pr = packets[0] as f64 / packets[1] as f64;
+        assert!((0.95..1.05).contains(&pr), "packet ratio {pr}");
+        let ar = airtime[0].as_secs_f64() / airtime[1].as_secs_f64();
+        assert!((0.95..1.05).contains(&ar), "airtime ratio {ar}");
+    }
+
+    #[test]
+    fn mixed_rates_equal_airtime_unequal_packets() {
+        // The core claim: 11 Mbit/s vs 1 Mbit/s clients receive equal
+        // channel-time shares, so packet counts differ by the airtime
+        // ratio (≈7.95).
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let (packets, airtime) = drive_saturated(
+            &mut tbr,
+            &[AIRTIME_11M, AIRTIME_1M],
+            SimDuration::from_secs(30),
+        );
+        let shares = crate::fairness::airtime_shares(&airtime);
+        assert!(
+            (shares[0] - 0.5).abs() < 0.03,
+            "airtime share {shares:?} should be ~50/50"
+        );
+        let pr = packets[0] as f64 / packets[1] as f64;
+        let expected = AIRTIME_1M.as_secs_f64() / AIRTIME_11M.as_secs_f64();
+        assert!(
+            (pr / expected - 1.0).abs() < 0.1,
+            "packet ratio {pr} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn round_robin_contrast_equal_packets_skewed_airtime() {
+        // The throughput-fair baseline on the same workload: packets
+        // equalise, airtime collapses onto the slow client.
+        let mut rr = RoundRobinScheduler::new(100);
+        let (packets, airtime) = drive_saturated(
+            &mut rr,
+            &[AIRTIME_11M, AIRTIME_1M],
+            SimDuration::from_secs(30),
+        );
+        let pr = packets[0] as f64 / packets[1] as f64;
+        assert!((0.95..1.05).contains(&pr), "packet ratio {pr}");
+        let shares = crate::fairness::airtime_shares(&airtime);
+        assert!(
+            shares[1] > 0.85,
+            "slow client should hog airtime: {shares:?}"
+        );
+    }
+
+    #[test]
+    fn baseline_property_slow_client_unharmed_by_tbr() {
+        // Under TBR the slow client gets half the channel time — the
+        // same as it would competing against another slow client. Its
+        // packet rate must therefore match the all-slow cell.
+        let span = SimDuration::from_secs(30);
+        let mut tbr_mixed = TbrScheduler::new(TbrConfig::default());
+        let (p_mixed, _) = drive_saturated(&mut tbr_mixed, &[AIRTIME_11M, AIRTIME_1M], span);
+        let mut tbr_slow = TbrScheduler::new(TbrConfig::default());
+        let (p_slow, _) = drive_saturated(&mut tbr_slow, &[AIRTIME_1M, AIRTIME_1M], span);
+        let ratio = p_mixed[1] as f64 / p_slow[1] as f64;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "slow client throughput changed: {ratio} ({} vs {})",
+            p_mixed[1],
+            p_slow[1]
+        );
+    }
+
+    #[test]
+    fn tokens_gate_release() {
+        let mut tbr = TbrScheduler::new(TbrConfig {
+            initial_tokens: SimDuration::from_micros(1),
+            ..TbrConfig::default()
+        });
+        let now = SimTime::ZERO;
+        tbr.on_associate(ClientId(0), now);
+        tbr.on_associate(ClientId(1), now);
+        tbr.enqueue(pkt(0, 1500), now);
+        // Draining client 0's tokens blocks its queue...
+        let p = tbr.dequeue(now).expect("tiny positive balance releases");
+        tbr.on_complete(p.client, AIRTIME_1M, true, now);
+        tbr.enqueue(pkt(0, 1500), now);
+        assert!(tbr.dequeue(now).is_none(), "negative balance must block");
+        assert!(!tbr.has_eligible(now));
+        // ...until the 12.85 ms debt is repaid at a refill rate of
+        // 0.5: just under 26 ms of wall time.
+        let later = SimTime::from_millis(27);
+        tbr.on_tick(later);
+        assert!(
+            tbr.has_eligible(later),
+            "tokens={:?}",
+            tbr.tokens_of(ClientId(0))
+        );
+        assert!(tbr.dequeue(later).is_some());
+    }
+
+    #[test]
+    fn uplink_completions_also_debit() {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let now = SimTime::ZERO;
+        tbr.on_associate(ClientId(0), now);
+        tbr.on_associate(ClientId(1), now);
+        let before = tbr.tokens_of(ClientId(0)).unwrap();
+        tbr.on_complete(ClientId(0), AIRTIME_11M, false, now);
+        let after = tbr.tokens_of(ClientId(0)).unwrap();
+        assert!((before - after - AIRTIME_11M.as_nanos() as f64).abs() < 1.0);
+        assert_eq!(tbr.debited_of(ClientId(0)).unwrap(), AIRTIME_11M);
+    }
+
+    #[test]
+    fn unknown_uplink_client_is_auto_associated() {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        tbr.on_complete(ClientId(5), AIRTIME_11M, false, SimTime::ZERO);
+        assert!(tbr.rate_of(ClientId(5)).is_some());
+    }
+
+    #[test]
+    fn adjust_rate_reallocates_unused_share() {
+        // Client 1 has demand for only a trickle; client 0 is saturated.
+        // After a few ADJUSTRATEEVENTs client 0's rate should grow well
+        // past its initial 0.5 (§4.3 / Table 4 behaviour).
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let mut now = SimTime::ZERO;
+        tbr.on_associate(ClientId(0), now);
+        tbr.on_associate(ClientId(1), now);
+        let tick = tbr.tick_period().unwrap();
+        let mut next_tick = now + tick;
+        let end = SimTime::from_secs(10);
+        let mut trickle_due = now;
+        while now < end {
+            if now >= trickle_due {
+                tbr.enqueue(pkt(1, 1500), now);
+                trickle_due = now + SimDuration::from_millis(50);
+            }
+            while tbr.backlog() < 20 {
+                tbr.enqueue(pkt(0, 1500), now);
+            }
+            match tbr.dequeue(now) {
+                Some(p) => {
+                    now += AIRTIME_11M;
+                    tbr.on_complete(p.client, AIRTIME_11M, true, now);
+                }
+                None => now = next_tick.max(now),
+            }
+            while next_tick <= now {
+                tbr.on_tick(next_tick);
+                next_tick += tick;
+            }
+        }
+        let r0 = tbr.rate_of(ClientId(0)).unwrap();
+        let r1 = tbr.rate_of(ClientId(1)).unwrap();
+        assert!(r0 > 0.8, "saturated client rate {r0}");
+        assert!(r1 >= TbrConfig::default().min_rate - 1e-9);
+        assert!((r0 + r1 - 1.0).abs() < 1e-6, "rates must sum to 1");
+    }
+
+    #[test]
+    fn weighted_shares_follow_weights() {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let now = SimTime::ZERO;
+        tbr.on_associate_weighted(ClientId(0), 2.0, now);
+        tbr.on_associate_weighted(ClientId(1), 1.0, now);
+        assert!((tbr.rate_of(ClientId(0)).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((tbr.rate_of(ClientId(1)).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        // And the served airtime follows ≈2:1 on a saturated channel.
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        tbr.on_associate_weighted(ClientId(0), 2.0, now);
+        tbr.on_associate_weighted(ClientId(1), 1.0, now);
+        // Disable adjustment interference by equalising demand.
+        let (_, airtime) = drive_saturated(
+            &mut tbr,
+            &[AIRTIME_11M, AIRTIME_11M],
+            SimDuration::from_secs(20),
+        );
+        let ratio = airtime[0].as_secs_f64() / airtime[1].as_secs_f64();
+        assert!((1.8..2.2).contains(&ratio), "airtime ratio {ratio}");
+    }
+
+    #[test]
+    fn rates_always_sum_to_one() {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let mut now = SimTime::ZERO;
+        for c in 0..5 {
+            tbr.on_associate(ClientId(c), now);
+        }
+        // Hammer the adjuster with lopsided usage.
+        for round in 0..50 {
+            now += SimDuration::from_millis(200);
+            tbr.on_complete(
+                ClientId(round % 2),
+                SimDuration::from_millis(150),
+                true,
+                now,
+            );
+            tbr.on_tick(now);
+        }
+        let total: f64 = (0..5).map(|c| tbr.rate_of(ClientId(c)).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-6, "rates sum to {total}");
+        for c in 0..5 {
+            assert!(tbr.rate_of(ClientId(c)).unwrap() >= TbrConfig::default().min_rate - 1e-9);
+        }
+    }
+
+    #[test]
+    fn late_association_renormalizes_rates() {
+        // ASSOCIATEEVENT mid-run: a third client joining resets every
+        // rate to the (new) fair share — the paper's initialisation
+        // semantics.
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        tbr.on_associate(ClientId(0), SimTime::ZERO);
+        tbr.on_associate(ClientId(1), SimTime::ZERO);
+        // Perturb rates via usage so the reset is observable.
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            now += SimDuration::from_millis(500);
+            tbr.on_complete(ClientId(0), SimDuration::from_millis(400), true, now);
+            tbr.on_tick(now);
+        }
+        tbr.on_associate(ClientId(2), now);
+        for c in 0..3 {
+            let r = tbr.rate_of(ClientId(c)).unwrap();
+            assert!((r - 1.0 / 3.0).abs() < 1e-9, "client {c} rate {r}");
+        }
+    }
+
+    #[test]
+    fn plain_reassociation_preserves_weights() {
+        // `drive_saturated` re-associates clients with the plain call;
+        // an explicitly set weight must survive it.
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        tbr.on_associate_weighted(ClientId(0), 3.0, SimTime::ZERO);
+        tbr.on_associate_weighted(ClientId(1), 1.0, SimTime::ZERO);
+        tbr.on_associate(ClientId(0), SimTime::ZERO);
+        assert!((tbr.rate_of(ClientId(0)).unwrap() - 0.75).abs() < 1e-12);
+        assert!((tbr.rate_of(ClientId(1)).unwrap() - 0.25).abs() < 1e-12);
+    }
+}

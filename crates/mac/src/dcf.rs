@@ -1,0 +1,536 @@
+//! The DCF contention state machine.
+//!
+//! # Model
+//!
+//! All stations share one collision domain. Contention follows DCF:
+//! a station with a frame waits for the medium to be idle for DIFS, then
+//! counts down a slotted backoff; the countdown freezes while the medium
+//! is busy and resumes after the next DIFS-idle period. A station whose
+//! frame arrives while the medium has been idle long enough transmits
+//! immediately (backoff 0). After every transmission — successful or not
+//! — the sender draws a post-transmission backoff, which is what keeps a
+//! solo saturated sender from monopolising the air back-to-back (the
+//! effect the paper points to in Figure 4's downlink-vs-uplink gap).
+//!
+//! Two stations whose countdowns expire on the same slot collide; both
+//! double their contention windows and retry. Frame corruption is drawn
+//! per attempt from the client link's [`LinkErrorModel`]. A corrupted
+//! data frame or lost ACK looks the same to the sender (no ACK), so both
+//! trigger a retransmission; a frame whose ACK was lost is conservatively
+//! treated as undelivered (real receivers dedup retransmissions — the
+//! probability is small enough not to matter at the paper's <2% loss).
+//!
+//! # Timing simplifications (documented deviations)
+//!
+//! - Propagation delay is zero (one-room cell; the paper's own occupancy
+//!   definition lumps it into the exchange).
+//! - A failed exchange occupies the medium for the same span as a
+//!   successful one (data + SIFS + ACK): the sender's ACK-timeout is of
+//!   that order, and EIFS deferral by third parties is folded into it.
+//! - Backoff left over when a station goes idle does not decay until its
+//!   next frame; saturated senders (the paper's regime) are unaffected.
+
+use airtime_phy::{LinkErrorModel, Phy80211b};
+use airtime_sim::{SimDuration, SimRng, SimTime};
+
+use crate::frame::{Frame, FrameOutcome, NodeId};
+
+/// Static configuration for a [`DcfWorld`].
+#[derive(Clone, Copy, Debug)]
+pub struct DcfConfig {
+    /// PHY timing/contention parameters.
+    pub phy: Phy80211b,
+    /// Which station is the access point (for airtime attribution).
+    pub ap: NodeId,
+    /// Multi-rate retry chains: step the rate down one notch every two
+    /// failed attempts of the same frame, as real rate-adaptive cards
+    /// do. Leave off for the paper's manually-pinned-rate experiments.
+    pub retry_rate_fallback: bool,
+    /// Protect data frames whose on-air size exceeds this with an
+    /// RTS/CTS handshake (`None` = never, the 2004 default). Protected
+    /// collisions waste only the short RTS instead of the whole frame.
+    pub rts_threshold: Option<u64>,
+}
+
+/// Events the embedding simulator must deliver back to [`DcfWorld::handle`]
+/// at the requested times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacEvent {
+    /// A scheduled contention resolution point. Stale generations are
+    /// ignored, so the embedder never needs to cancel events.
+    AccessResolved {
+        /// Generation stamp; compared against the world's current one.
+        generation: u64,
+    },
+    /// End of the current medium-busy period.
+    TxEnd,
+    /// A station's TBR-style transmission deferral has expired.
+    DeferExpired {
+        /// The station whose defer timer fired.
+        node: NodeId,
+    },
+}
+
+/// Outputs of the MAC state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacEffect {
+    /// Deliver `event` back to [`DcfWorld::handle`] at time `at`.
+    Schedule {
+        /// Due time.
+        at: SimTime,
+        /// Event to deliver.
+        event: MacEvent,
+    },
+    /// A frame arrived intact at its destination (receiver side).
+    Delivered {
+        /// The delivered frame.
+        frame: Frame,
+    },
+    /// The sender is done with a frame: it was acked or dropped.
+    /// `airtime_total` is the channel occupancy consumed by *all*
+    /// attempts of this frame — the quantity TBR debits (§4.2).
+    TxFinal {
+        /// The frame in question.
+        frame: Frame,
+        /// Delivered or dropped.
+        outcome: FrameOutcome,
+        /// Occupancy across every attempt, including failures.
+        airtime_total: SimDuration,
+    },
+    /// One transmission attempt finished (rate-control feedback and
+    /// on-air trace hook; fires for every attempt, not just the last).
+    Attempt {
+        /// The frame being attempted.
+        frame: Frame,
+        /// True when this attempt was acked.
+        success: bool,
+        /// True when the attempt failed because of a slot collision.
+        collision: bool,
+        /// Channel occupancy of this single attempt.
+        airtime: SimDuration,
+    },
+}
+
+struct Station {
+    pending: Option<Frame>,
+    /// Remaining backoff slots, measured from the world's `anchor` while
+    /// a countdown is active. `Some` whenever a frame is pending; may
+    /// carry a post-transmission backoff between frames.
+    backoff: Option<u32>,
+    cw: u32,
+    retries: u32,
+    defer_until: Option<SimTime>,
+    airtime_this_frame: SimDuration,
+}
+
+struct InFlight {
+    frame: Frame,
+    data_lost: bool,
+    ack_lost: bool,
+    airtime: SimDuration,
+}
+
+/// Aggregate MAC statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MacStats {
+    /// Transmission attempts started.
+    pub attempts: u64,
+    /// Attempts that ended in a slot collision.
+    pub collision_events: u64,
+    /// Frames delivered (acked).
+    pub delivered: u64,
+    /// Frames dropped at the retry limit.
+    pub dropped: u64,
+}
+
+/// The shared-medium DCF world: all stations plus the channel.
+pub struct DcfWorld {
+    config: DcfConfig,
+    links: Vec<LinkErrorModel>,
+    stations: Vec<Station>,
+    rng: SimRng,
+    /// When the medium last became idle.
+    idle_start: SimTime,
+    /// End of the current busy period, if transmitting.
+    busy_until: Option<SimTime>,
+    /// Slot-grid origin of the active countdown.
+    anchor: SimTime,
+    countdown_active: bool,
+    generation: u64,
+    in_flight: Vec<InFlight>,
+    occupancy: Vec<SimDuration>,
+    busy_accum: SimDuration,
+    stats: MacStats,
+}
+
+impl DcfWorld {
+    /// Creates a world of `links.len()` stations. `links[i]` describes
+    /// the radio link between station `i` and the AP (the AP's own entry
+    /// is unused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AP index is out of range.
+    pub fn new(config: DcfConfig, links: Vec<LinkErrorModel>, rng: SimRng) -> Self {
+        assert!(config.ap.index() < links.len(), "AP index out of range");
+        let n = links.len();
+        let cw_min = config.phy.cw_min;
+        DcfWorld {
+            config,
+            links,
+            stations: (0..n)
+                .map(|_| Station {
+                    pending: None,
+                    backoff: None,
+                    cw: cw_min,
+                    retries: 0,
+                    defer_until: None,
+                    airtime_this_frame: SimDuration::ZERO,
+                })
+                .collect(),
+            rng,
+            idle_start: SimTime::ZERO,
+            busy_until: None,
+            anchor: SimTime::ZERO,
+            countdown_active: false,
+            generation: 0,
+            in_flight: Vec::new(),
+            occupancy: vec![SimDuration::ZERO; n],
+            busy_accum: SimDuration::ZERO,
+            stats: MacStats::default(),
+        }
+    }
+
+    /// Number of stations (including the AP).
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// True when station `node`'s MAC can take a new frame.
+    pub fn can_accept(&self, node: NodeId) -> bool {
+        self.stations[node.index()].pending.is_none()
+    }
+
+    /// Replaces the error model of `node`'s link (e.g. mobility).
+    pub fn set_link(&mut self, node: NodeId, link: LinkErrorModel) {
+        self.links[node.index()] = link;
+    }
+
+    /// Channel occupancy attributed to client `node` so far — the
+    /// paper's T(i) numerator.
+    pub fn occupancy(&self, node: NodeId) -> SimDuration {
+        self.occupancy[node.index()]
+    }
+
+    /// Total time the medium has been busy.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_accum
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// Hands a frame to the MAC of `frame.src`.
+    ///
+    /// Returns `Err(frame)` (unchanged) if that MAC is still working on a
+    /// previous frame; check [`DcfWorld::can_accept`] first.
+    pub fn offer_frame(&mut self, now: SimTime, frame: Frame) -> Result<Vec<MacEffect>, Frame> {
+        let idx = frame.src.index();
+        assert!(idx < self.stations.len(), "unknown source station");
+        assert!(
+            frame.dst.index() < self.stations.len(),
+            "unknown destination"
+        );
+        if self.stations[idx].pending.is_some() {
+            return Err(frame);
+        }
+        let medium_busy = self.busy_until.is_some_and(|t| now < t);
+        let needs_backoff = self.stations[idx].backoff.is_none();
+        if needs_backoff {
+            // No carried post-transmission backoff: immediate access when
+            // the medium is idle, fresh draw when it is busy.
+            let b = if medium_busy {
+                let cw = self.stations[idx].cw;
+                self.draw_backoff(cw)
+            } else {
+                0
+            };
+            self.stations[idx].backoff = Some(b);
+        }
+        let st = &mut self.stations[idx];
+        st.pending = Some(frame);
+        st.retries = 0;
+        st.airtime_this_frame = SimDuration::ZERO;
+        let mut effects = Vec::new();
+        self.reschedule_access(now, &mut effects);
+        Ok(effects)
+    }
+
+    /// Forbids `node` from starting new transmissions until `until`
+    /// (TBR client-cooperation, §4.1 of the paper). Returns the timer
+    /// event the embedder must schedule.
+    pub fn set_defer(&mut self, now: SimTime, node: NodeId, until: SimTime) -> Vec<MacEffect> {
+        let mut effects = Vec::new();
+        if until <= now {
+            return effects;
+        }
+        self.stations[node.index()].defer_until = Some(until);
+        effects.push(MacEffect::Schedule {
+            at: until,
+            event: MacEvent::DeferExpired { node },
+        });
+        self.reschedule_access(now, &mut effects);
+        effects
+    }
+
+    /// Delivers a due event.
+    pub fn handle(&mut self, now: SimTime, event: MacEvent) -> Vec<MacEffect> {
+        let mut effects = Vec::new();
+        match event {
+            MacEvent::AccessResolved { generation } => {
+                if generation == self.generation && self.busy_until.is_none() {
+                    self.on_access(now, &mut effects);
+                }
+            }
+            MacEvent::TxEnd => self.on_tx_end(now, &mut effects),
+            MacEvent::DeferExpired { node } => {
+                let st = &mut self.stations[node.index()];
+                if st.defer_until.is_some_and(|t| t <= now) {
+                    st.defer_until = None;
+                    self.reschedule_access(now, &mut effects);
+                }
+            }
+        }
+        effects
+    }
+
+    fn draw_backoff(&mut self, cw: u32) -> u32 {
+        self.rng.below(cw as u64 + 1) as u32
+    }
+
+    fn is_contender(&self, idx: usize, now: SimTime) -> bool {
+        let st = &self.stations[idx];
+        st.pending.is_some() && st.defer_until.is_none_or(|t| now >= t)
+    }
+
+    /// The client side of an AP↔station exchange, for occupancy
+    /// attribution (§2.2: the AP is a facilitator; its transmissions
+    /// count against the destination client).
+    fn client_of(&self, frame: &Frame) -> usize {
+        if frame.src == self.config.ap {
+            frame.dst.index()
+        } else {
+            frame.src.index()
+        }
+    }
+
+    fn slot(&self) -> SimDuration {
+        self.config.phy.slot
+    }
+
+    /// Recomputes and schedules the next contention-resolution point.
+    fn reschedule_access(&mut self, now: SimTime, effects: &mut Vec<MacEffect>) {
+        if self.busy_until.is_some_and(|t| now < t) {
+            return; // TxEnd will reschedule.
+        }
+        self.generation += 1; // Invalidate any previously scheduled access.
+        let contenders: Vec<usize> = (0..self.stations.len())
+            .filter(|&i| self.is_contender(i, now))
+            .collect();
+        if contenders.is_empty() {
+            self.countdown_active = false;
+            return;
+        }
+        let slot = self.slot();
+        let base = self.idle_start + self.config.phy.difs();
+        // Next slot boundary ≥ max(now, base) on the grid anchored at base.
+        let start = now.max(base);
+        let offset_ns = start.saturating_since(base).as_nanos();
+        let k = offset_ns.div_ceil(slot.as_nanos());
+        let new_anchor = base + slot * k;
+        if self.countdown_active {
+            if new_anchor > self.anchor {
+                let elapsed = (new_anchor - self.anchor) / slot;
+                for st in &mut self.stations {
+                    if let Some(b) = st.backoff.as_mut() {
+                        *b = b.saturating_sub(elapsed as u32);
+                    }
+                }
+                self.anchor = new_anchor;
+            }
+        } else {
+            self.anchor = new_anchor;
+            self.countdown_active = true;
+        }
+        let min_b = contenders
+            .iter()
+            .map(|&i| self.stations[i].backoff.unwrap_or(0))
+            .min()
+            .expect("non-empty contenders");
+        effects.push(MacEffect::Schedule {
+            at: self.anchor + slot * min_b as u64,
+            event: MacEvent::AccessResolved {
+                generation: self.generation,
+            },
+        });
+    }
+
+    /// Contention resolved: the minimum countdown expired at `now`.
+    fn on_access(&mut self, now: SimTime, effects: &mut Vec<MacEffect>) {
+        let slot = self.slot();
+        let elapsed = (now.saturating_since(self.anchor) / slot) as u32;
+        for st in &mut self.stations {
+            if let Some(b) = st.backoff.as_mut() {
+                *b = b.saturating_sub(elapsed);
+            }
+        }
+        self.anchor = now;
+        self.countdown_active = false;
+
+        let winners: Vec<usize> = (0..self.stations.len())
+            .filter(|&i| self.is_contender(i, now) && self.stations[i].backoff == Some(0))
+            .collect();
+        if winners.is_empty() {
+            // Stale state (e.g. the minimum-backoff station was deferred
+            // in the meantime); recompute.
+            self.reschedule_access(now, effects);
+            return;
+        }
+
+        let phy = self.config.phy;
+        let mut busy_span = SimDuration::ZERO;
+        let mut spans: Vec<(SimDuration, SimDuration)> = Vec::with_capacity(winners.len());
+        for &w in &winners {
+            let mut frame = self.stations[w].pending.expect("contender has a frame");
+            if self.config.retry_rate_fallback {
+                // Multi-rate retry chain: r, r, r−1, r−1, r−2, …
+                for _ in 0..(self.stations[w].retries / 2) {
+                    match frame.rate.step_down() {
+                        Some(down) => frame.rate = down,
+                        None => break,
+                    }
+                }
+            }
+            let client = self.client_of(&frame);
+            let link = self.links[client];
+            let on_air_bytes = frame.msdu_bytes + airtime_phy::timing::MAC_DATA_OVERHEAD_BYTES;
+            let data_lost = {
+                let fer = link.data_fer(frame.rate, on_air_bytes);
+                self.rng.chance(fer)
+            };
+            let ack_lost = !data_lost && {
+                let fer = link.ack_fer(frame.rate);
+                self.rng.chance(fer)
+            };
+            let on_air = frame.msdu_bytes + airtime_phy::timing::MAC_DATA_OVERHEAD_BYTES;
+            let protected = self.config.rts_threshold.is_some_and(|th| on_air > th);
+            let handshake = if protected {
+                phy.rts_cts_overhead(frame.rate)
+            } else {
+                SimDuration::ZERO
+            };
+            let data_dur = phy.data_tx_time_default(frame.msdu_bytes, frame.rate);
+            let ack_dur = phy.ack_tx_time(frame.rate);
+            let span = handshake + data_dur + phy.sifs + ack_dur;
+            // A protected frame that collides wastes only its RTS (plus
+            // the CTS timeout ≈ SIFS + CTS); unprotected collisions
+            // burn the whole data frame.
+            let collision_span = if protected {
+                phy.rts_tx_time(frame.rate) + phy.sifs + phy.cts_tx_time(frame.rate)
+            } else {
+                span
+            };
+            spans.push((span, collision_span));
+            self.in_flight.push(InFlight {
+                frame,
+                data_lost,
+                ack_lost,
+                airtime: SimDuration::ZERO, // filled below
+            });
+            self.stations[w].backoff = None; // consumed
+        }
+        self.stats.attempts += winners.len() as u64;
+        let collided = winners.len() > 1;
+        if collided {
+            self.stats.collision_events += 1;
+        }
+        for (tx, &(span, collision_span)) in self.in_flight.iter_mut().zip(&spans) {
+            let effective = if collided { collision_span } else { span };
+            busy_span = busy_span.max(effective);
+            // Per-attempt occupancy: DIFS + the attempt's air (§2.3).
+            tx.airtime = phy.difs() + effective;
+        }
+        let end = now + busy_span;
+        self.busy_until = Some(end);
+        self.busy_accum += busy_span;
+        effects.push(MacEffect::Schedule {
+            at: end,
+            event: MacEvent::TxEnd,
+        });
+    }
+
+    fn on_tx_end(&mut self, now: SimTime, effects: &mut Vec<MacEffect>) {
+        self.busy_until = None;
+        self.idle_start = now;
+        let collision = self.in_flight.len() > 1;
+        let flights = std::mem::take(&mut self.in_flight);
+        for tx in flights {
+            let client = self.client_of(&tx.frame);
+            self.occupancy[client] += tx.airtime;
+            let idx = tx.frame.src.index();
+            self.stations[idx].airtime_this_frame += tx.airtime;
+            let success = !collision && !tx.data_lost && !tx.ack_lost;
+            effects.push(MacEffect::Attempt {
+                frame: tx.frame,
+                success,
+                collision,
+                airtime: tx.airtime,
+            });
+            if success {
+                self.stats.delivered += 1;
+                effects.push(MacEffect::Delivered { frame: tx.frame });
+                let total = self.stations[idx].airtime_this_frame;
+                effects.push(MacEffect::TxFinal {
+                    frame: tx.frame,
+                    outcome: FrameOutcome::Delivered,
+                    airtime_total: total,
+                });
+                self.finish_frame(idx);
+            } else {
+                let st = &mut self.stations[idx];
+                st.retries += 1;
+                if st.retries >= self.config.phy.retry_limit {
+                    self.stats.dropped += 1;
+                    let total = st.airtime_this_frame;
+                    effects.push(MacEffect::TxFinal {
+                        frame: tx.frame,
+                        outcome: FrameOutcome::Dropped,
+                        airtime_total: total,
+                    });
+                    self.finish_frame(idx);
+                } else {
+                    st.cw = self.config.phy.cw_after(st.retries);
+                    let cw = st.cw;
+                    let b = self.draw_backoff(cw);
+                    self.stations[idx].backoff = Some(b);
+                }
+            }
+        }
+        self.reschedule_access(now, effects);
+    }
+
+    /// Resets sender state after a frame's final outcome and draws the
+    /// mandatory post-transmission backoff.
+    fn finish_frame(&mut self, idx: usize) {
+        let cw_min = self.config.phy.cw_min;
+        let b = self.draw_backoff(cw_min);
+        let st = &mut self.stations[idx];
+        st.pending = None;
+        st.retries = 0;
+        st.cw = cw_min;
+        st.backoff = Some(b);
+        st.airtime_this_frame = SimDuration::ZERO;
+    }
+}

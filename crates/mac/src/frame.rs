@@ -1,0 +1,75 @@
+//! Frame and addressing types shared between the MAC and its users.
+
+use airtime_phy::DataRate;
+
+/// Index of a station in the cell. The access point is a station like any
+/// other (it contends with DCF too); which index is the AP is declared
+/// when building [`crate::DcfWorld`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A MAC-layer data frame carrying one upper-layer packet.
+///
+/// `handle` is an opaque cookie for the upper layer (the integration
+/// crate maps it back to the TCP segment / UDP datagram it wraps); the
+/// MAC never interprets it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Transmitting station.
+    pub src: NodeId,
+    /// Receiving station.
+    pub dst: NodeId,
+    /// MSDU size in bytes (e.g. the IP datagram length). MAC framing
+    /// overhead is added by the PHY airtime math.
+    pub msdu_bytes: u64,
+    /// PHY rate for this frame (chosen by the sender's rate control).
+    pub rate: DataRate,
+    /// Upper-layer cookie.
+    pub handle: u64,
+}
+
+/// Final fate of a frame handed to the MAC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameOutcome {
+    /// Acked by the receiver (possibly after retransmissions).
+    Delivered,
+    /// Dropped after exhausting the retry limit.
+    Dropped,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn frame_is_copy_and_comparable() {
+        let f = Frame {
+            src: NodeId(1),
+            dst: NodeId(0),
+            msdu_bytes: 1500,
+            rate: DataRate::B11,
+            handle: 42,
+        };
+        let g = f;
+        assert_eq!(f, g);
+    }
+}

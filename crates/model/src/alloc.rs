@@ -1,0 +1,249 @@
+//! Equations 4–13: channel-time and throughput allocations under the
+//! two fairness notions.
+
+/// One competing node, described by its baseline throughput γᵢ (Mbit/s,
+/// from measurement or a [`crate::gamma`] model) and its packet size sᵢ
+/// (bytes). The equations only ever see γ and s.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeSpec {
+    /// Baseline throughput γ(dᵢ, sᵢ, I) in Mbit/s.
+    pub gamma: f64,
+    /// Data packet size in bytes.
+    pub packet_bytes: f64,
+}
+
+impl NodeSpec {
+    /// A node with γ in Mbit/s and 1500-byte packets.
+    pub fn with_gamma(gamma: f64) -> Self {
+        NodeSpec {
+            gamma,
+            packet_bytes: 1500.0,
+        }
+    }
+}
+
+/// A predicted allocation: per-node channel-occupancy fractions T(i),
+/// per-node throughputs R(i) in Mbit/s, and the aggregate R(I).
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Channel occupancy time fractions; sums to 1 (Eq 1).
+    pub occupancy: Vec<f64>,
+    /// Per-node throughput in Mbit/s.
+    pub throughput: Vec<f64>,
+    /// Aggregate throughput (Eq 3).
+    pub total: f64,
+}
+
+/// Throughput-based fairness — what DCF plus conventional AP queuing
+/// yields (Eq 4: `T(i) ∝ sᵢ/γᵢ`; Eq 2: `R(i) = T(i)·γᵢ`). With equal
+/// packet sizes this reduces to Eqs 5–7 (equal throughputs); with mixed
+/// packet sizes to Eqs 8–10.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or any γ or packet size is non-positive.
+pub fn rf_allocation(nodes: &[NodeSpec]) -> Allocation {
+    validate(nodes);
+    let denom: f64 = nodes.iter().map(|n| n.packet_bytes / n.gamma).sum();
+    let occupancy: Vec<f64> = nodes
+        .iter()
+        .map(|n| (n.packet_bytes / n.gamma) / denom)
+        .collect();
+    finish(nodes, occupancy)
+}
+
+/// Time-based fairness — the paper's proposal (Eq 11: `T(i) = 1/n`;
+/// Eq 12: `R(i) = γᵢ/n`; Eq 13: `R(I) = Σγᵢ/n`).
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or any γ or packet size is non-positive.
+pub fn tf_allocation(nodes: &[NodeSpec]) -> Allocation {
+    validate(nodes);
+    let n = nodes.len() as f64;
+    finish(nodes, vec![1.0 / n; nodes.len()])
+}
+
+/// Weighted time-based fairness (§4.5's QoS extension): `T(i) ∝ wᵢ`.
+///
+/// # Panics
+///
+/// Panics on empty input, non-positive γ/s, or non-positive weights.
+pub fn tf_allocation_weighted(nodes: &[NodeSpec], weights: &[f64]) -> Allocation {
+    validate(nodes);
+    assert_eq!(nodes.len(), weights.len(), "one weight per node");
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    let total_w: f64 = weights.iter().sum();
+    finish(nodes, weights.iter().map(|&w| w / total_w).collect())
+}
+
+fn validate(nodes: &[NodeSpec]) {
+    assert!(!nodes.is_empty(), "at least one node");
+    assert!(
+        nodes.iter().all(|n| n.gamma > 0.0 && n.packet_bytes > 0.0),
+        "γ and packet size must be positive"
+    );
+}
+
+fn finish(nodes: &[NodeSpec], occupancy: Vec<f64>) -> Allocation {
+    let throughput: Vec<f64> = nodes
+        .iter()
+        .zip(&occupancy)
+        .map(|(n, &t)| t * n.gamma)
+        .collect();
+    let total = throughput.iter().sum();
+    Allocation {
+        occupancy,
+        throughput,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::gamma_measured;
+    use airtime_phy::DataRate;
+
+    fn node(rate: DataRate) -> NodeSpec {
+        NodeSpec::with_gamma(gamma_measured(rate).unwrap())
+    }
+
+    #[test]
+    fn equal_rates_make_notions_coincide() {
+        let nodes = [node(DataRate::B11), node(DataRate::B11)];
+        let rf = rf_allocation(&nodes);
+        let tf = tf_allocation(&nodes);
+        for i in 0..2 {
+            assert!((rf.occupancy[i] - tf.occupancy[i]).abs() < 1e-12);
+            assert!((rf.throughput[i] - tf.throughput[i]).abs() < 1e-12);
+        }
+        assert!((rf.total - 5.189).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure2_prediction_1vs11() {
+        // 1 vs 11 Mbit/s under DCF: equal throughputs ≈ 0.70 Mbit/s
+        // each, and the slow node holds ≈6.4× the fast node's airtime —
+        // the numbers in the paper's Figure 2.
+        let nodes = [node(DataRate::B11), node(DataRate::B1)];
+        let rf = rf_allocation(&nodes);
+        assert!((rf.throughput[0] - rf.throughput[1]).abs() < 1e-9);
+        assert!(
+            (rf.throughput[0] - 0.698).abs() < 0.01,
+            "per-node {}",
+            rf.throughput[0]
+        );
+        let ratio = rf.occupancy[1] / rf.occupancy[0];
+        assert!((6.3..6.6).contains(&ratio), "occupancy ratio {ratio}");
+        assert!((rf.total - 1.395).abs() < 0.01);
+    }
+
+    #[test]
+    fn table3_rf_row() {
+        // Four nodes at 1, 2, 11, 11 Mbit/s: RF gives 0.436 each,
+        // 1.742 total.
+        let nodes = [
+            node(DataRate::B1),
+            node(DataRate::B2),
+            node(DataRate::B11),
+            node(DataRate::B11),
+        ];
+        let rf = rf_allocation(&nodes);
+        for r in &rf.throughput {
+            assert!((r - 0.436).abs() < 0.001, "r={r}");
+        }
+        assert!((rf.total - 1.742).abs() < 0.005, "total={}", rf.total);
+    }
+
+    #[test]
+    fn table3_tf_row() {
+        // Same four nodes under TF: 0.202, 0.373, 1.297, 1.297 → 3.17
+        // total, an 82% improvement over RF.
+        let nodes = [
+            node(DataRate::B1),
+            node(DataRate::B2),
+            node(DataRate::B11),
+            node(DataRate::B11),
+        ];
+        let tf = tf_allocation(&nodes);
+        assert!((tf.throughput[0] - 0.2015).abs() < 0.001);
+        assert!((tf.throughput[1] - 0.3733).abs() < 0.001);
+        assert!((tf.throughput[2] - 1.2973).abs() < 0.001);
+        assert!((tf.total - 3.175).abs() < 0.01, "total={}", tf.total);
+        let rf = rf_allocation(&nodes);
+        let gain = tf.total / rf.total - 1.0;
+        assert!((0.80..0.85).contains(&gain), "gain={gain}");
+    }
+
+    #[test]
+    fn baseline_property_holds_under_tf() {
+        // A 1 Mbit/s node competing against any mix gets exactly what it
+        // would get in an all-1 Mbit/s cell of the same size (Eq 12
+        // depends only on its own γ and n).
+        let g1 = gamma_measured(DataRate::B1).unwrap();
+        let mixed = [
+            node(DataRate::B1),
+            node(DataRate::B11),
+            node(DataRate::B5_5),
+        ];
+        let all_slow = [node(DataRate::B1); 3];
+        let tf_mixed = tf_allocation(&mixed);
+        let tf_slow = tf_allocation(&all_slow);
+        assert!((tf_mixed.throughput[0] - g1 / 3.0).abs() < 1e-12);
+        assert!((tf_mixed.throughput[0] - tf_slow.throughput[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packet_size_diversity_rf_eq8_to_10() {
+        // Same rate, different packet sizes: T(i) and R(i) now differ
+        // across nodes (Eqs 8–9): the big-packet node gets more bytes
+        // through.
+        let g = 5.0;
+        let nodes = [
+            NodeSpec {
+                gamma: g,
+                packet_bytes: 1500.0,
+            },
+            NodeSpec {
+                gamma: g,
+                packet_bytes: 500.0,
+            },
+        ];
+        let rf = rf_allocation(&nodes);
+        assert!(rf.occupancy[0] > rf.occupancy[1]);
+        let r_ratio = rf.throughput[0] / rf.throughput[1];
+        assert!((r_ratio - 3.0).abs() < 1e-9, "ratio {r_ratio}");
+        // Eq 10: R(I) = Σsᵢ / Σ(sⱼ/γⱼ).
+        let expect_total = (1500.0 + 500.0) / (1500.0 / g + 500.0 / g);
+        assert!((rf.total - expect_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancies_always_sum_to_one() {
+        let nodes = [
+            node(DataRate::B1),
+            node(DataRate::B2),
+            node(DataRate::B5_5),
+            node(DataRate::B11),
+        ];
+        for alloc in [rf_allocation(&nodes), tf_allocation(&nodes)] {
+            let sum: f64 = alloc.occupancy.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_tf_scales_with_weights() {
+        let nodes = [node(DataRate::B11), node(DataRate::B11)];
+        let a = tf_allocation_weighted(&nodes, &[3.0, 1.0]);
+        assert!((a.occupancy[0] - 0.75).abs() < 1e-12);
+        assert!((a.throughput[0] / a.throughput[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_nodes_panic() {
+        let _ = rf_allocation(&[]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Bianchi's DCF saturation model (IEEE JSAC 2000), adapted to 802.11b.
+//!
+//! The paper's γ abstraction hides contention detail; Bianchi's
+//! fixed-point model recovers it, giving collision-aware saturation
+//! throughput for any number of stations. We use it to sanity-check the
+//! simulator's collision rates and to extrapolate γ beyond the paper's
+//! two-node measurements (their Table 2 is n = 2 only).
+//!
+//! Model: each saturated station transmits in a randomly chosen slot
+//! with probability τ, where τ and the conditional collision
+//! probability p satisfy
+//!
+//! ```text
+//! τ = 2(1 − 2p) / ((1 − 2p)(W + 1) + p·W·(1 − (2p)^m))
+//! p = 1 − (1 − τ)^(n−1)
+//! ```
+//!
+//! with `W = CWmin + 1` and `m` backoff stages.
+
+use airtime_phy::{DataRate, Phy80211b};
+
+/// A solved Bianchi model instance.
+#[derive(Clone, Copy, Debug)]
+pub struct BianchiModel {
+    /// Per-slot transmission probability of one station.
+    pub tau: f64,
+    /// Conditional collision probability seen by a transmitting station.
+    pub p_collision: f64,
+    /// Number of saturated stations.
+    pub n: usize,
+}
+
+impl BianchiModel {
+    /// Solves the fixed point for `n` saturated stations on `phy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn solve(phy: &Phy80211b, n: usize) -> Self {
+        assert!(n > 0, "need at least one station");
+        let w = (phy.cw_min + 1) as f64;
+        let m = ((phy.cw_max + 1) as f64 / w).log2().round().max(0.0);
+        // Bisect on p: as p grows, τ(p) falls and p_implied(τ) falls, so
+        // g(p) = p_implied(τ(p)) − p is decreasing — a clean root.
+        let tau_of = |p: f64| -> f64 {
+            2.0 * (1.0 - 2.0 * p)
+                / ((1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p).powf(m)))
+        };
+        if n == 1 {
+            return BianchiModel {
+                tau: tau_of(0.0),
+                p_collision: 0.0,
+                n,
+            };
+        }
+        let g = |p: f64| -> f64 {
+            let tau = tau_of(p);
+            (1.0 - (1.0 - tau).powi(n as i32 - 1)) - p
+        };
+        let (mut lo, mut hi) = (0.0f64, 0.4999f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let p = 0.5 * (lo + hi);
+        BianchiModel {
+            tau: tau_of(p),
+            p_collision: p,
+            n,
+        }
+    }
+
+    /// Saturation goodput in Mbit/s for `msdu_bytes` UDP payloads at
+    /// `rate`.
+    pub fn throughput_mbps(&self, phy: &Phy80211b, rate: DataRate, msdu_bytes: u64) -> f64 {
+        let n = self.n as f64;
+        let tau = self.tau;
+        let p_tr = 1.0 - (1.0 - tau).powf(n);
+        if p_tr <= 0.0 {
+            return 0.0;
+        }
+        let p_s = n * tau * (1.0 - tau).powf(n - 1.0) / p_tr;
+        let sigma = phy.slot.as_secs_f64();
+        let t_s = phy.exchange_time(msdu_bytes, rate).as_secs_f64();
+        let t_c = phy.difs().as_secs_f64()
+            + phy.data_tx_time_default(msdu_bytes, rate).as_secs_f64()
+            + phy.sifs.as_secs_f64()
+            + phy.ack_tx_time(rate).as_secs_f64();
+        let payload_bits = msdu_bytes as f64 * 8.0;
+        let num = p_s * p_tr * payload_bits;
+        let den = (1.0 - p_tr) * sigma + p_tr * p_s * t_s + p_tr * (1.0 - p_s) * t_c;
+        num / den / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::gamma_udp_model;
+
+    fn phy() -> Phy80211b {
+        Phy80211b::default()
+    }
+
+    #[test]
+    fn solo_station_never_collides() {
+        let m = BianchiModel::solve(&phy(), 1);
+        assert_eq!(m.p_collision, 0.0);
+        assert!(m.tau > 0.0 && m.tau < 1.0);
+    }
+
+    #[test]
+    fn collision_probability_grows_with_n() {
+        let mut prev = 0.0;
+        for n in 2..=20 {
+            let m = BianchiModel::solve(&phy(), n);
+            assert!(m.p_collision > prev, "n={n}");
+            assert!(m.p_collision < 0.5);
+            prev = m.p_collision;
+        }
+    }
+
+    #[test]
+    fn tau_shrinks_with_n() {
+        let mut prev = f64::INFINITY;
+        for n in 1..=20 {
+            let m = BianchiModel::solve(&phy(), n);
+            assert!(m.tau < prev, "n={n}");
+            prev = m.tau;
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_consistent() {
+        for n in 2..=10 {
+            let m = BianchiModel::solve(&phy(), n);
+            let implied = 1.0 - (1.0 - m.tau).powi(n as i32 - 1);
+            assert!(
+                (implied - m.p_collision).abs() < 1e-6,
+                "n={n}: implied {implied} vs {}",
+                m.p_collision
+            );
+        }
+    }
+
+    #[test]
+    fn two_station_throughput_matches_simple_model() {
+        // For small n collisions are rare, so Bianchi and the
+        // collision-free cycle model should land close together.
+        let m = BianchiModel::solve(&phy(), 2);
+        let bianchi = m.throughput_mbps(&phy(), DataRate::B11, 1500);
+        let simple = gamma_udp_model(&phy(), DataRate::B11, 1500, 2);
+        let rel = (bianchi - simple).abs() / simple;
+        assert!(rel < 0.10, "bianchi {bianchi} vs simple {simple}");
+    }
+
+    #[test]
+    fn throughput_degrades_gracefully_with_contention() {
+        let t2 = BianchiModel::solve(&phy(), 2).throughput_mbps(&phy(), DataRate::B11, 1500);
+        let t30 = BianchiModel::solve(&phy(), 30).throughput_mbps(&phy(), DataRate::B11, 1500);
+        assert!(t30 < t2, "t2={t2} t30={t30}");
+        // But not catastrophically: DCF keeps most of the channel.
+        assert!(t30 > 0.6 * t2, "t2={t2} t30={t30}");
+    }
+
+    #[test]
+    fn throughput_scales_with_rate() {
+        let m = BianchiModel::solve(&phy(), 3);
+        let t1 = m.throughput_mbps(&phy(), DataRate::B1, 1500);
+        let t11 = m.throughput_mbps(&phy(), DataRate::B11, 1500);
+        assert!(t11 > 4.0 * t1, "t1={t1} t11={t11}");
+    }
+}

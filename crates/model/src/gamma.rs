@@ -1,0 +1,136 @@
+//! Baseline throughput γ(d, s, I).
+//!
+//! γ is "the maximum total achieved throughput when all nodes use the
+//! same packet size and data rate under similar loss characteristics"
+//! (§2.3). The paper obtains it experimentally (their Table 2); we
+//! provide those measured values plus closed-form DCF cycle models so
+//! predictions can be made for configurations the paper never measured.
+
+use airtime_phy::{DataRate, Phy80211b};
+
+/// The paper's Table 2: measured total TCP throughput (Mbit/s) of two
+/// nodes exchanging 1500-byte packets at the same rate, <2% loss.
+///
+/// Returns `None` for 802.11g rates (outside the paper's testbed).
+pub fn gamma_measured(rate: DataRate) -> Option<f64> {
+    match rate {
+        DataRate::B11 => Some(5.189),
+        DataRate::B5_5 => Some(3.327),
+        DataRate::B2 => Some(1.493),
+        DataRate::B1 => Some(0.806),
+        _ => None,
+    }
+}
+
+/// Expected idle backoff time preceding each transmission when `n`
+/// saturated stations contend: ≈ slot × CWmin / (n + 1) (the expected
+/// minimum of n uniform draws on [0, CWmin]).
+fn idle_per_tx(phy: &Phy80211b, n: usize) -> f64 {
+    phy.slot.as_secs_f64() * phy.cw_min as f64 / (n as f64 + 1.0)
+}
+
+/// Closed-form saturation goodput (Mbit/s) for `n` stations sending
+/// `msdu_bytes` UDP datagrams at `rate`: payload bits over the mean
+/// per-packet cycle (DIFS + DATA + SIFS + ACK + expected idle backoff).
+/// Collisions are neglected (fine for the paper's 2–4 stations).
+pub fn gamma_udp_model(phy: &Phy80211b, rate: DataRate, msdu_bytes: u64, n: usize) -> f64 {
+    let cycle = phy.exchange_time(msdu_bytes, rate).as_secs_f64() + idle_per_tx(phy, n);
+    msdu_bytes as f64 * 8.0 / cycle / 1e6
+}
+
+/// Closed-form saturation **TCP goodput** (Mbit/s): each MSS costs one
+/// data exchange, half an ack exchange (delayed acks), and 1.5 expected
+/// idle backoffs. `ip_bytes` is the data packet on the wire (1500),
+/// `mss` the payload counted as goodput (1460), `ack_bytes` the pure
+/// ack (40).
+pub fn gamma_tcp_model(
+    phy: &Phy80211b,
+    rate: DataRate,
+    ip_bytes: u64,
+    mss: u64,
+    ack_bytes: u64,
+    n: usize,
+) -> f64 {
+    let idle = idle_per_tx(phy, n.max(2));
+    let cycle = phy.exchange_time(ip_bytes, rate).as_secs_f64()
+        + 0.5 * phy.exchange_time(ack_bytes, rate).as_secs_f64()
+        + 1.5 * idle;
+    mss as f64 * 8.0 / cycle / 1e6
+}
+
+/// Convenience: the analytic counterpart of the paper's Table 2
+/// (2 nodes, 1500-byte packets, TCP with 1460-byte MSS).
+pub fn gamma_tcp_table2(rate: DataRate) -> f64 {
+    gamma_tcp_model(&Phy80211b::default(), rate, 1500, 1460, 40, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_values_match_paper() {
+        assert_eq!(gamma_measured(DataRate::B11), Some(5.189));
+        assert_eq!(gamma_measured(DataRate::B5_5), Some(3.327));
+        assert_eq!(gamma_measured(DataRate::B2), Some(1.493));
+        assert_eq!(gamma_measured(DataRate::B1), Some(0.806));
+        assert_eq!(gamma_measured(DataRate::G54), None);
+    }
+
+    #[test]
+    fn tcp_model_tracks_measured_table2_within_10_percent() {
+        for rate in DataRate::ALL_B {
+            let model = gamma_tcp_table2(rate);
+            let measured = gamma_measured(rate).unwrap();
+            let err = (model - measured).abs() / measured;
+            assert!(
+                err < 0.10,
+                "{rate}: model {model:.3} vs measured {measured:.3} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn udp_exceeds_tcp_at_same_rate() {
+        let phy = Phy80211b::default();
+        for rate in DataRate::ALL_B {
+            let udp = gamma_udp_model(&phy, rate, 1500, 2);
+            let tcp = gamma_tcp_table2(rate);
+            assert!(udp > tcp, "{rate}: udp {udp} tcp {tcp}");
+        }
+    }
+
+    #[test]
+    fn gamma_monotone_in_rate_and_size() {
+        let phy = Phy80211b::default();
+        for pair in DataRate::ALL_B.windows(2) {
+            assert!(
+                gamma_udp_model(&phy, pair[0], 1500, 2) < gamma_udp_model(&phy, pair[1], 1500, 2)
+            );
+        }
+        // Larger packets amortise overhead (§2.3): γ grows with s.
+        assert!(
+            gamma_udp_model(&phy, DataRate::B11, 1500, 2)
+                > gamma_udp_model(&phy, DataRate::B11, 256, 2)
+        );
+    }
+
+    #[test]
+    fn more_stations_less_idle_higher_gamma() {
+        // The paper notes (Fig 4 discussion) that backoff overhead per
+        // packet shrinks as contenders increase.
+        let phy = Phy80211b::default();
+        let g1 = gamma_udp_model(&phy, DataRate::B11, 1500, 1);
+        let g3 = gamma_udp_model(&phy, DataRate::B11, 1500, 3);
+        assert!(g3 > g1, "g1={g1} g3={g3}");
+    }
+
+    #[test]
+    fn solo_udp_saturation_ground_truth() {
+        // The classic "~6 Mbit/s from one 802.11b sender" number.
+        let phy = Phy80211b::default();
+        let g = gamma_udp_model(&phy, DataRate::B11, 1500, 1);
+        assert!((5.9..6.5).contains(&g), "g={g}");
+    }
+}

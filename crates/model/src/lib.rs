@@ -1,0 +1,31 @@
+//! The paper's analytic framework (§2).
+//!
+//! Everything the paper predicts follows from one abstraction: the
+//! *baseline throughput* γ(d, s, I) — the total throughput a cell
+//! achieves when all |I| nodes use data rate *d* and packet size *s* —
+//! combined with how a fairness notion divides channel occupancy time
+//! T(i) among nodes:
+//!
+//! - **Throughput-based fairness (RF)**, what DCF + a round-robin AP
+//!   queue delivers: every node gets `R(i) = 1/Σ(1/γⱼ)` (Eq 6) and the
+//!   slow nodes hog the air, `T(i) ∝ 1/γᵢ` (Eq 5).
+//! - **Time-based fairness (TF)**, the paper's proposal: `T(i) = 1/n`
+//!   (Eq 11), hence `R(i) = γᵢ/n` (Eq 12) — each node performs exactly
+//!   as it would in a single-rate cell of its own speed (the *baseline
+//!   property*).
+//!
+//! [`gamma`] supplies γ three ways: the paper's measured Table 2, a
+//! closed-form DCF cycle model, and a Bianchi (2000)-style fixed-point
+//! saturation model. [`alloc`] implements Equations 4–13 for arbitrary
+//! rate and packet-size mixes. [`task`] is the fluid task-model
+//! scheduler behind Table 1's AvgTaskTime / FinalTaskTime comparison.
+
+pub mod alloc;
+pub mod bianchi;
+pub mod gamma;
+pub mod task;
+
+pub use alloc::{rf_allocation, tf_allocation, tf_allocation_weighted, Allocation, NodeSpec};
+pub use bianchi::BianchiModel;
+pub use gamma::{gamma_measured, gamma_tcp_model, gamma_tcp_table2, gamma_udp_model};
+pub use task::{task_schedule, FairnessPolicy, TaskOutcome};

@@ -1,0 +1,229 @@
+//! The task traffic model (§2.1, after Bruno, Coffman & Sethi).
+//!
+//! Each node transfers a finite number of bytes; when a task finishes,
+//! the channel is re-divided among the remainder. The fluid scheduler
+//! here reproduces Table 1's claims exactly: *FinalTaskTime* is
+//! identical under both fairness notions (the network is
+//! work-conserving either way, and total channel time is Σ Bᵢ/γᵢ no
+//! matter the order), while *AvgTaskTime* is strictly better under
+//! time-based fairness whenever rates diverge, because fast nodes
+//! finish early instead of being held to the convoy.
+
+use crate::alloc::{rf_allocation, tf_allocation, NodeSpec};
+
+/// Which fairness notion divides the channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FairnessPolicy {
+    /// Throughput-based fairness (DCF + conventional queuing).
+    ThroughputFair,
+    /// Time-based fairness (TBR).
+    TimeFair,
+}
+
+/// Result of running a task mix to completion.
+#[derive(Clone, Debug)]
+pub struct TaskOutcome {
+    /// Per-node completion times, seconds, in input order.
+    pub completion_times: Vec<f64>,
+    /// Mean completion time (the paper's AvgTaskTime).
+    pub avg_task_time: f64,
+    /// Last completion (FinalTaskTime).
+    pub final_task_time: f64,
+}
+
+/// Runs the fluid task model: `nodes[i]` transfers `task_bytes[i]`
+/// bytes; throughputs follow the policy's allocation over the *still
+/// active* node set and are recomputed at each completion.
+///
+/// # Panics
+///
+/// Panics if lengths differ, the input is empty, or any task size is
+/// non-positive.
+pub fn task_schedule(
+    nodes: &[NodeSpec],
+    task_bytes: &[f64],
+    policy: FairnessPolicy,
+) -> TaskOutcome {
+    assert_eq!(nodes.len(), task_bytes.len(), "one task per node");
+    assert!(!nodes.is_empty(), "at least one task");
+    assert!(
+        task_bytes.iter().all(|&b| b > 0.0),
+        "tasks must be non-empty"
+    );
+    let n = nodes.len();
+    let mut remaining: Vec<f64> = task_bytes.to_vec();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut completion = vec![0.0f64; n];
+    let mut now = 0.0f64;
+    while !active.is_empty() {
+        let specs: Vec<NodeSpec> = active.iter().map(|&i| nodes[i]).collect();
+        let alloc = match policy {
+            FairnessPolicy::ThroughputFair => rf_allocation(&specs),
+            FairnessPolicy::TimeFair => tf_allocation(&specs),
+        };
+        // Rates in bytes/s (γ is Mbit/s).
+        let rates: Vec<f64> = alloc
+            .throughput
+            .iter()
+            .map(|mbps| mbps * 1e6 / 8.0)
+            .collect();
+        // Time until the earliest completion among active tasks.
+        let (k, dt) = active
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (k, remaining[i] / rates[k]))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty active set");
+        now += dt;
+        for (k2, &i) in active.iter().enumerate() {
+            remaining[i] -= rates[k2] * dt;
+        }
+        let finished = active[k];
+        completion[finished] = now;
+        remaining[finished] = 0.0;
+        active.remove(k);
+        // Sweep any simultaneous completions (identical specs/tasks).
+        let mut k2 = 0;
+        while k2 < active.len() {
+            let i = active[k2];
+            if remaining[i] <= 1e-9 {
+                completion[i] = now;
+                active.remove(k2);
+            } else {
+                k2 += 1;
+            }
+        }
+    }
+    let avg = completion.iter().sum::<f64>() / n as f64;
+    let fin = completion.iter().fold(0.0f64, |a, &b| a.max(b));
+    TaskOutcome {
+        completion_times: completion,
+        avg_task_time: avg,
+        final_task_time: fin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::gamma_measured;
+    use airtime_phy::DataRate;
+
+    fn node(rate: DataRate) -> NodeSpec {
+        NodeSpec::with_gamma(gamma_measured(rate).unwrap())
+    }
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn equal_rate_tasks_tie_under_both_policies() {
+        let nodes = [node(DataRate::B11), node(DataRate::B11)];
+        let tasks = [10.0 * MB, 10.0 * MB];
+        let rf = task_schedule(&nodes, &tasks, FairnessPolicy::ThroughputFair);
+        let tf = task_schedule(&nodes, &tasks, FairnessPolicy::TimeFair);
+        assert!((rf.final_task_time - tf.final_task_time).abs() < 1e-6);
+        assert!((rf.avg_task_time - tf.avg_task_time).abs() < 1e-6);
+        assert!((rf.completion_times[0] - rf.completion_times[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table1_final_same_avg_better_under_tf() {
+        // The 1vs11 task-model comparison behind Table 1.
+        let nodes = [node(DataRate::B11), node(DataRate::B1)];
+        let tasks = [10.0 * MB, 10.0 * MB];
+        let rf = task_schedule(&nodes, &tasks, FairnessPolicy::ThroughputFair);
+        let tf = task_schedule(&nodes, &tasks, FairnessPolicy::TimeFair);
+        // FinalTaskTime: work conserving ⇒ identical (±numerics).
+        let rel = (rf.final_task_time - tf.final_task_time).abs() / rf.final_task_time;
+        assert!(
+            rel < 1e-9,
+            "final times differ: rf={} tf={}",
+            rf.final_task_time,
+            tf.final_task_time
+        );
+        // AvgTaskTime strictly better under TF.
+        assert!(
+            tf.avg_task_time < rf.avg_task_time * 0.75,
+            "tf avg {} vs rf avg {}",
+            tf.avg_task_time,
+            rf.avg_task_time
+        );
+        // Under RF both tasks finish together (equal throughputs).
+        assert!(
+            (rf.completion_times[0] - rf.completion_times[1]).abs() / rf.final_task_time < 1e-9
+        );
+        // Under TF the fast node finishes much earlier.
+        assert!(tf.completion_times[0] < 0.3 * tf.completion_times[1]);
+    }
+
+    #[test]
+    fn final_time_equals_total_channel_time() {
+        // FinalTaskTime = Σ Bᵢ/γᵢ under either policy, since occupancy
+        // fractions sum to 1 and the channel never idles.
+        let nodes = [node(DataRate::B11), node(DataRate::B2)];
+        let tasks = [20.0 * MB, 5.0 * MB];
+        let expect: f64 = tasks
+            .iter()
+            .zip(&nodes)
+            .map(|(b, n)| b * 8.0 / (n.gamma * 1e6))
+            .sum();
+        for policy in [FairnessPolicy::ThroughputFair, FairnessPolicy::TimeFair] {
+            let out = task_schedule(&nodes, &tasks, policy);
+            assert!(
+                (out.final_task_time - expect).abs() / expect < 1e-9,
+                "{policy:?}: {} vs {expect}",
+                out.final_task_time
+            );
+        }
+    }
+
+    #[test]
+    fn slow_node_completion_unchanged_by_tf() {
+        // Baseline property in task form: under TF the slow node's
+        // completion time with a fast competitor equals its completion
+        // time with a slow competitor of the same task size.
+        let tasks = [10.0 * MB, 10.0 * MB];
+        let mixed = [node(DataRate::B11), node(DataRate::B1)];
+        let slow = [node(DataRate::B1), node(DataRate::B1)];
+        let tf_mixed = task_schedule(&mixed, &tasks, FairnessPolicy::TimeFair);
+        let tf_slow = task_schedule(&slow, &tasks, FairnessPolicy::TimeFair);
+        // The slow node holds T=1/2 until the fast one finishes, then
+        // gets the whole channel — so it can only do *better* than in
+        // the all-slow cell; it must never do worse.
+        assert!(tf_mixed.completion_times[1] <= tf_slow.completion_times[1] + 1e-9);
+    }
+
+    #[test]
+    fn last_finisher_speeds_up_after_others_leave() {
+        // Once the fast task completes under TF, the slow node's rate
+        // rises from γ/2 to γ, so its completion beats the naive
+        // "γ/2 the whole way" bound.
+        let nodes = [node(DataRate::B11), node(DataRate::B1)];
+        let tasks = [10.0 * MB, 10.0 * MB];
+        let tf = task_schedule(&nodes, &tasks, FairnessPolicy::TimeFair);
+        let g1 = gamma_measured(DataRate::B1).unwrap() * 1e6 / 8.0;
+        let naive = tasks[1] / (g1 / 2.0);
+        assert!(tf.completion_times[1] < naive);
+    }
+
+    #[test]
+    fn three_way_mixed_ordering() {
+        let nodes = [
+            node(DataRate::B11),
+            node(DataRate::B5_5),
+            node(DataRate::B1),
+        ];
+        let tasks = [10.0 * MB; 3];
+        let tf = task_schedule(&nodes, &tasks, FairnessPolicy::TimeFair);
+        assert!(tf.completion_times[0] < tf.completion_times[1]);
+        assert!(tf.completion_times[1] < tf.completion_times[2]);
+        let rf = task_schedule(&nodes, &tasks, FairnessPolicy::ThroughputFair);
+        assert!(tf.avg_task_time < rf.avg_task_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "tasks must be non-empty")]
+    fn zero_task_panics() {
+        let _ = task_schedule(&[node(DataRate::B11)], &[0.0], FairnessPolicy::TimeFair);
+    }
+}

@@ -1,0 +1,36 @@
+//! Transport and traffic models.
+//!
+//! The paper's experiments are TCP file transfers (with one UDP
+//! comparison in Figure 4), and its central deployment claim — that TBR
+//! needs **no client modification** for TCP — rests on *ack clocking*:
+//! delaying a flow's packets at the AP (data for downlink flows, acks
+//! for uplink flows) throttles the sender (§4.1, citing Jacobson).
+//! Reproducing that claim requires a TCP model that is actually
+//! ack-clocked, so this crate implements a compact but real TCP Reno
+//! with NewReno partial-ack recovery:
+//!
+//! - slow start / congestion avoidance with ssthresh,
+//! - duplicate-ack detection, fast retransmit and fast recovery,
+//! - retransmission timeout with exponential backoff and go-back-N,
+//! - a delayed-ack receiver (one ACK per two segments, or on a timer),
+//! - optional application-level rate limiting (the paper's Table 4
+//!   bottleneck scenario), and
+//! - task-model support (a flow that ends after N bytes and reports its
+//!   completion time — the paper's *AvgTaskTime* / *FinalTaskTime*).
+//!
+//! [`udp`] provides saturating and rate-paced datagram sources, and
+//! [`limit`] the token-bucket [`RateLimiter`] shared by both.
+//!
+//! Everything is an explicit state machine driven by `on_*` calls and
+//! emitting effects, in the same style as `airtime-mac`: no internal
+//! event loop, fully deterministic, directly unit-testable.
+
+pub mod limit;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+
+pub use limit::RateLimiter;
+pub use packet::{FlowId, Packet, PacketKind};
+pub use tcp::{ReceiverEffect, SenderEffect, TcpConfig, TcpReceiver, TcpSender};
+pub use udp::{UdpConfig, UdpSource};

@@ -1,0 +1,91 @@
+//! Network-layer packet types moved between transport endpoints.
+
+/// Identifier of a flow (one per client node in the paper's setup, but
+/// the types allow several flows per node).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub usize);
+
+impl FlowId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// What a packet carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// A TCP data segment with sequence number `seq` (in segments).
+    TcpData {
+        /// Segment sequence number.
+        seq: u64,
+    },
+    /// A cumulative TCP acknowledgement: everything below `ack_seq` has
+    /// been received in order.
+    TcpAck {
+        /// Next expected segment.
+        ack_seq: u64,
+    },
+    /// A UDP datagram.
+    UdpData {
+        /// Datagram sequence number (measurement only).
+        seq: u64,
+    },
+}
+
+/// A network-layer packet (an IP datagram in the paper's terms).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Payload classification.
+    pub kind: PacketKind,
+    /// Total IP datagram size in bytes (headers included).
+    pub bytes: u64,
+}
+
+impl Packet {
+    /// True for TCP/UDP data (not acknowledgements).
+    pub fn is_data(&self) -> bool {
+        !matches!(self.kind, PacketKind::TcpAck { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let d = Packet {
+            flow: FlowId(0),
+            kind: PacketKind::TcpData { seq: 3 },
+            bytes: 1500,
+        };
+        let a = Packet {
+            flow: FlowId(0),
+            kind: PacketKind::TcpAck { ack_seq: 4 },
+            bytes: 40,
+        };
+        let u = Packet {
+            flow: FlowId(1),
+            kind: PacketKind::UdpData { seq: 9 },
+            bytes: 1500,
+        };
+        assert!(d.is_data());
+        assert!(!a.is_data());
+        assert!(u.is_data());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FlowId(4).to_string(), "f4");
+        assert_eq!(FlowId(4).index(), 4);
+    }
+}

@@ -1,0 +1,41 @@
+//! 802.11b/g physical layer model.
+//!
+//! This crate provides everything the MAC simulator needs to know about
+//! the air interface:
+//!
+//! - [`rates`]: the 802.11b DSSS/CCK rates (1/2/5.5/11 Mbit/s) the paper
+//!   studies, plus the 802.11g ERP-OFDM rates (6–54 Mbit/s) used for the
+//!   paper's forward-looking mixed-b/g scenarios.
+//! - [`timing`]: exact frame airtime arithmetic — PLCP preambles, MAC
+//!   framing overhead, ACK durations, interframe spaces, contention-window
+//!   parameters. These numbers are what make the simulated baseline
+//!   throughputs land near the paper's Table 2.
+//! - [`ber`]: a signal-to-noise-driven frame error model calibrated to
+//!   802.11b receiver sensitivities.
+//! - [`pathloss`]: a log-distance indoor propagation model with per-wall
+//!   attenuation, used to recreate the paper's EXP-1 office experiment.
+//! - [`arf`]: Auto Rate Fallback, the vendor-style automatic rate control
+//!   the paper refers to (Kamerman & Monteban's WaveLAN-II scheme).
+//!
+//! # Examples
+//!
+//! ```
+//! use airtime_phy::{DataRate, Phy80211b, Preamble};
+//!
+//! let phy = Phy80211b::default();
+//! // A 1500-byte MSDU at 11 Mbit/s with a long preamble:
+//! let t = phy.data_tx_time(1500, DataRate::B11, Preamble::Long);
+//! assert_eq!(t.as_micros(), 192 + 1117); // PLCP + 1536 framed bytes at 11 Mbit/s
+//! ```
+
+pub mod arf;
+pub mod ber;
+pub mod pathloss;
+pub mod rates;
+pub mod timing;
+
+pub use arf::{Arf, ArfConfig};
+pub use ber::{ErrorModel, LinkErrorModel};
+pub use pathloss::{PathLossModel, Wall};
+pub use rates::{DataRate, Modulation};
+pub use timing::{Phy80211b, Preamble};

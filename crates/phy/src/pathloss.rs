@@ -1,0 +1,163 @@
+//! Indoor propagation: log-distance path loss with wall attenuation.
+//!
+//! Used to recreate the paper's EXP-1 office experiment (§3): an AP in an
+//! 18′×14′ office sending to four receivers at 4′, 12′ (one thin wooden
+//! wall), 26′ (two thin wooden walls) and 30′ (two thick walls). The
+//! reported outcome — more than half the bytes end up at 1 Mbit/s — falls
+//! out of this model plus ARF.
+
+use crate::ber::LinkErrorModel;
+
+/// A wall on the direct path between transmitter and receiver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Wall {
+    /// Thin interior wooden wall (~3 dB).
+    ThinWood,
+    /// Thick structural wall (~10 dB).
+    Thick,
+}
+
+impl Wall {
+    /// Attenuation contributed by this wall in dB.
+    pub fn attenuation_db(self) -> f64 {
+        match self {
+            Wall::ThinWood => 3.0,
+            Wall::Thick => 10.0,
+        }
+    }
+}
+
+/// Log-distance path loss: `PL(d) = PL(d₀) + 10·n·log₁₀(d/d₀) + Σ walls`.
+#[derive(Clone, Debug)]
+pub struct PathLossModel {
+    /// Transmit power in dBm (typical 2004 client card: 15 dBm).
+    pub tx_power_dbm: f64,
+    /// Path loss at the reference distance of 1 m, in dB (2.4 GHz free
+    /// space: ≈ 40 dB).
+    pub pl_ref_db: f64,
+    /// Path loss exponent (2.0 free space; 3–4 indoors through clutter).
+    pub exponent: f64,
+    /// Receiver noise floor in dBm.
+    pub noise_floor_dbm: f64,
+}
+
+impl Default for PathLossModel {
+    fn default() -> Self {
+        PathLossModel {
+            tx_power_dbm: 15.0,
+            pl_ref_db: 40.0,
+            exponent: 3.3,
+            noise_floor_dbm: -96.0,
+        }
+    }
+}
+
+/// Feet-to-metres conversion used by scenario descriptions that quote the
+/// paper's imperial distances.
+pub fn feet_to_metres(ft: f64) -> f64 {
+    ft * 0.3048
+}
+
+impl PathLossModel {
+    /// Path loss in dB at `distance_m` metres through `walls`, plus a
+    /// site-specific `shadow_db` offset.
+    ///
+    /// Indoor links a few feet apart routinely differ by tens of dB
+    /// because of multipath and shadowing (the paper cites Kotz et al.'s
+    /// "mistaken axioms" report on exactly this). Scenario descriptions
+    /// therefore carry an explicit per-link shadowing term; the EXP-1
+    /// reproduction calibrates it so the resulting rate mix matches the
+    /// published figure.
+    pub fn path_loss_db(&self, distance_m: f64, walls: &[Wall], shadow_db: f64) -> f64 {
+        let d = distance_m.max(1.0);
+        let walls_db: f64 = walls.iter().map(|w| w.attenuation_db()).sum();
+        self.pl_ref_db + 10.0 * self.exponent * d.log10() + walls_db + shadow_db
+    }
+
+    /// Received signal strength in dBm.
+    pub fn rssi_dbm(&self, distance_m: f64, walls: &[Wall], shadow_db: f64) -> f64 {
+        self.tx_power_dbm - self.path_loss_db(distance_m, walls, shadow_db)
+    }
+
+    /// Link SNR in dB.
+    pub fn snr_db(&self, distance_m: f64, walls: &[Wall], shadow_db: f64) -> f64 {
+        self.rssi_dbm(distance_m, walls, shadow_db) - self.noise_floor_dbm
+    }
+
+    /// Builds the per-link error model for a station at `distance_m`
+    /// through `walls` with `shadow_db` of shadowing.
+    pub fn link(&self, distance_m: f64, walls: &[Wall], shadow_db: f64) -> LinkErrorModel {
+        LinkErrorModel::Snr {
+            snr_db: self.snr_db(distance_m, walls, shadow_db),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::frame_error_rate;
+    use crate::rates::DataRate;
+
+    #[test]
+    fn loss_grows_with_distance_walls_and_shadow() {
+        let m = PathLossModel::default();
+        assert!(m.path_loss_db(10.0, &[], 0.0) > m.path_loss_db(2.0, &[], 0.0));
+        assert!(m.path_loss_db(5.0, &[Wall::ThinWood], 0.0) > m.path_loss_db(5.0, &[], 0.0));
+        assert!(
+            m.path_loss_db(5.0, &[Wall::Thick, Wall::Thick], 0.0)
+                > m.path_loss_db(5.0, &[Wall::ThinWood], 0.0)
+        );
+        assert!(m.path_loss_db(5.0, &[], 10.0) > m.path_loss_db(5.0, &[], 0.0));
+    }
+
+    #[test]
+    fn reference_distance_clamps() {
+        let m = PathLossModel::default();
+        assert_eq!(m.path_loss_db(0.1, &[], 0.0), m.path_loss_db(1.0, &[], 0.0));
+    }
+
+    #[test]
+    fn feet_conversion() {
+        assert!((feet_to_metres(10.0) - 3.048).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp1_geometry_produces_rate_differentiation() {
+        // The four EXP-1 receivers: 4', 12' + thin wall, 26' + two thin
+        // walls, 30' + two thick walls, with site-calibrated shadowing.
+        // The nearest node must sustain 11 Mbit/s; the farthest must be
+        // unable to, while still managing 1 Mbit/s.
+        let m = PathLossModel::default();
+        let near = m.snr_db(feet_to_metres(4.0), &[], 0.0);
+        let far = m.snr_db(
+            feet_to_metres(30.0),
+            &[Wall::Thick, Wall::Thick],
+            16.0, // site shadowing for the EXP-1 far corner
+        );
+        assert!(near > far + 15.0, "near={near} far={far}");
+        assert!(
+            frame_error_rate(DataRate::B11, 1536, near) < 0.02,
+            "near node should hold 11M: snr={near}"
+        );
+        assert!(
+            frame_error_rate(DataRate::B11, 1536, far) > 0.5,
+            "far node should fail at 11M: snr={far}"
+        );
+        assert!(
+            frame_error_rate(DataRate::B1, 1536, far) < 0.3,
+            "far node should manage 1M: snr={far}"
+        );
+    }
+
+    #[test]
+    fn link_constructor_embeds_snr() {
+        let m = PathLossModel::default();
+        match m.link(3.0, &[Wall::ThinWood], -2.0) {
+            LinkErrorModel::Snr { snr_db } => {
+                assert!((snr_db - m.snr_db(3.0, &[Wall::ThinWood], -2.0)).abs() < 1e-12);
+            }
+            other => panic!("expected Snr model, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Data rates and modulations for 802.11b and 802.11g.
+
+use std::fmt;
+
+/// A physical-layer data rate.
+///
+/// The `B*` variants are the four 802.11b DSSS/CCK rates that the paper's
+/// experiments use. The `G*` variants are 802.11g ERP-OFDM rates; the
+/// paper motivates time-based fairness partly by the then-upcoming mixed
+/// b/g deployments, and the workspace reproduces those projections too.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DataRate {
+    /// 1 Mbit/s DSSS (DBPSK).
+    B1,
+    /// 2 Mbit/s DSSS (DQPSK).
+    B2,
+    /// 5.5 Mbit/s HR-DSSS (CCK).
+    B5_5,
+    /// 11 Mbit/s HR-DSSS (CCK).
+    B11,
+    /// 6 Mbit/s ERP-OFDM (BPSK 1/2).
+    G6,
+    /// 9 Mbit/s ERP-OFDM (BPSK 3/4).
+    G9,
+    /// 12 Mbit/s ERP-OFDM (QPSK 1/2).
+    G12,
+    /// 18 Mbit/s ERP-OFDM (QPSK 3/4).
+    G18,
+    /// 24 Mbit/s ERP-OFDM (16-QAM 1/2).
+    G24,
+    /// 36 Mbit/s ERP-OFDM (16-QAM 3/4).
+    G36,
+    /// 48 Mbit/s ERP-OFDM (64-QAM 2/3).
+    G48,
+    /// 54 Mbit/s ERP-OFDM (64-QAM 3/4).
+    G54,
+}
+
+/// The modulation/coding family behind a rate, used by the error model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Modulation {
+    /// Differential BPSK over DSSS (1 Mbit/s).
+    Dbpsk,
+    /// Differential QPSK over DSSS (2 Mbit/s).
+    Dqpsk,
+    /// Complementary Code Keying (5.5 and 11 Mbit/s).
+    Cck,
+    /// ERP-OFDM (all 802.11g rates).
+    Ofdm,
+}
+
+impl DataRate {
+    /// The four 802.11b rates, slowest first.
+    pub const ALL_B: [DataRate; 4] = [DataRate::B1, DataRate::B2, DataRate::B5_5, DataRate::B11];
+
+    /// The eight 802.11g ERP-OFDM rates, slowest first.
+    pub const ALL_G: [DataRate; 8] = [
+        DataRate::G6,
+        DataRate::G9,
+        DataRate::G12,
+        DataRate::G18,
+        DataRate::G24,
+        DataRate::G36,
+        DataRate::G48,
+        DataRate::G54,
+    ];
+
+    /// Rate in bits per second.
+    pub const fn bps(self) -> u64 {
+        match self {
+            DataRate::B1 => 1_000_000,
+            DataRate::B2 => 2_000_000,
+            DataRate::B5_5 => 5_500_000,
+            DataRate::B11 => 11_000_000,
+            DataRate::G6 => 6_000_000,
+            DataRate::G9 => 9_000_000,
+            DataRate::G12 => 12_000_000,
+            DataRate::G18 => 18_000_000,
+            DataRate::G24 => 24_000_000,
+            DataRate::G36 => 36_000_000,
+            DataRate::G48 => 48_000_000,
+            DataRate::G54 => 54_000_000,
+        }
+    }
+
+    /// Rate in Mbit/s.
+    pub fn mbps(self) -> f64 {
+        self.bps() as f64 / 1e6
+    }
+
+    /// The modulation family.
+    pub const fn modulation(self) -> Modulation {
+        match self {
+            DataRate::B1 => Modulation::Dbpsk,
+            DataRate::B2 => Modulation::Dqpsk,
+            DataRate::B5_5 | DataRate::B11 => Modulation::Cck,
+            _ => Modulation::Ofdm,
+        }
+    }
+
+    /// True for 802.11g ERP-OFDM rates.
+    pub const fn is_ofdm(self) -> bool {
+        matches!(self.modulation(), Modulation::Ofdm)
+    }
+
+    /// The rate used for the synchronous MAC ACK that answers a data frame
+    /// sent at `self`.
+    ///
+    /// Per the standard, control responses use the highest *basic* rate
+    /// not exceeding the data rate. With the usual 802.11b basic-rate set
+    /// {1, 2}: data at ≥ 2 Mbit/s is acked at 2, data at 1 is acked at 1.
+    /// ERP data is acked at the highest mandatory OFDM rate ≤ data rate
+    /// ({6, 12, 24}).
+    pub const fn ack_rate(self) -> DataRate {
+        match self {
+            DataRate::B1 => DataRate::B1,
+            DataRate::B2 | DataRate::B5_5 | DataRate::B11 => DataRate::B2,
+            DataRate::G6 | DataRate::G9 => DataRate::G6,
+            DataRate::G12 | DataRate::G18 => DataRate::G12,
+            _ => DataRate::G24,
+        }
+    }
+
+    /// The next rate down in the same PHY family, or `None` at the bottom.
+    /// Used by rate-fallback controllers.
+    pub fn step_down(self) -> Option<DataRate> {
+        let ladder = self.ladder();
+        let idx = ladder.iter().position(|&r| r == self)?;
+        idx.checked_sub(1).map(|i| ladder[i])
+    }
+
+    /// The next rate up in the same PHY family, or `None` at the top.
+    pub fn step_up(self) -> Option<DataRate> {
+        let ladder = self.ladder();
+        let idx = ladder.iter().position(|&r| r == self)?;
+        ladder.get(idx + 1).copied()
+    }
+
+    fn ladder(self) -> &'static [DataRate] {
+        if self.is_ofdm() {
+            &Self::ALL_G
+        } else {
+            &Self::ALL_B
+        }
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == DataRate::B5_5 {
+            write!(f, "5.5M")
+        } else {
+            write!(f, "{}M", self.bps() / 1_000_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bps_values() {
+        assert_eq!(DataRate::B1.bps(), 1_000_000);
+        assert_eq!(DataRate::B5_5.bps(), 5_500_000);
+        assert_eq!(DataRate::B11.bps(), 11_000_000);
+        assert_eq!(DataRate::G54.bps(), 54_000_000);
+        assert!((DataRate::B5_5.mbps() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladders_are_sorted() {
+        for pair in DataRate::ALL_B.windows(2) {
+            assert!(pair[0].bps() < pair[1].bps());
+        }
+        for pair in DataRate::ALL_G.windows(2) {
+            assert!(pair[0].bps() < pair[1].bps());
+        }
+    }
+
+    #[test]
+    fn ack_rates_follow_basic_rate_rule() {
+        assert_eq!(DataRate::B1.ack_rate(), DataRate::B1);
+        assert_eq!(DataRate::B2.ack_rate(), DataRate::B2);
+        assert_eq!(DataRate::B5_5.ack_rate(), DataRate::B2);
+        assert_eq!(DataRate::B11.ack_rate(), DataRate::B2);
+        assert_eq!(DataRate::G9.ack_rate(), DataRate::G6);
+        assert_eq!(DataRate::G18.ack_rate(), DataRate::G12);
+        assert_eq!(DataRate::G54.ack_rate(), DataRate::G24);
+    }
+
+    #[test]
+    fn stepping_stays_in_family() {
+        assert_eq!(DataRate::B11.step_down(), Some(DataRate::B5_5));
+        assert_eq!(DataRate::B1.step_down(), None);
+        assert_eq!(DataRate::B1.step_up(), Some(DataRate::B2));
+        assert_eq!(DataRate::B11.step_up(), None);
+        assert_eq!(DataRate::G6.step_down(), None);
+        assert_eq!(DataRate::G6.step_up(), Some(DataRate::G9));
+        assert_eq!(DataRate::G54.step_up(), None);
+    }
+
+    #[test]
+    fn walking_down_from_top_visits_whole_ladder() {
+        let mut r = DataRate::B11;
+        let mut seen = vec![r];
+        while let Some(next) = r.step_down() {
+            seen.push(next);
+            r = next;
+        }
+        assert_eq!(
+            seen,
+            vec![DataRate::B11, DataRate::B5_5, DataRate::B2, DataRate::B1]
+        );
+    }
+
+    #[test]
+    fn modulations() {
+        assert_eq!(DataRate::B1.modulation(), Modulation::Dbpsk);
+        assert_eq!(DataRate::B2.modulation(), Modulation::Dqpsk);
+        assert_eq!(DataRate::B11.modulation(), Modulation::Cck);
+        assert!(DataRate::G24.is_ofdm());
+        assert!(!DataRate::B11.is_ofdm());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataRate::B5_5.to_string(), "5.5M");
+        assert_eq!(DataRate::B11.to_string(), "11M");
+        assert_eq!(DataRate::G54.to_string(), "54M");
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the foundation of the Airtime workspace. It provides:
+//!
+//! - [`time`]: nanosecond-resolution simulated time ([`SimTime`]) and
+//!   durations ([`SimDuration`]) with exact integer arithmetic, so repeated
+//!   runs are bit-for-bit reproducible.
+//! - [`queue`]: a stable event queue ([`EventQueue`]) that breaks ties in
+//!   insertion order, which is essential for determinism when many events
+//!   share a timestamp (common in slotted MAC simulations).
+//! - [`rng`]: a seedable random-number wrapper ([`SimRng`]) with independent
+//!   substreams so adding randomness to one component does not perturb
+//!   another.
+//! - [`stats`]: counters, running mean/variance with confidence intervals,
+//!   time-weighted averages, rate meters and histograms used by every
+//!   measurement in the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use airtime_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_micros(5), "second");
+//! q.schedule(SimTime::ZERO, "first");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::ZERO);
+//! assert_eq!(e, "first");
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Histogram, RateMeter, RunningStats, TimeWeighted};
+pub use time::{SimDuration, SimTime};

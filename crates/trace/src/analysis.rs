@@ -1,0 +1,296 @@
+//! Trace measurements: the analyses behind Figures 1 and 5.
+
+use airtime_phy::DataRate;
+use airtime_sim::SimDuration;
+
+use crate::record::Trace;
+
+/// Fraction of bytes transferred at each data rate (Figure 1's bars).
+/// Rates absent from the trace get fraction 0. Returns pairs ordered
+/// slowest-first over the 802.11b ladder, plus any OFDM rates seen.
+pub fn bytes_by_rate(trace: &Trace) -> Vec<(DataRate, f64)> {
+    let total = trace.total_bytes();
+    let mut ladder: Vec<DataRate> = DataRate::ALL_B.to_vec();
+    for r in &trace.records {
+        if !ladder.contains(&r.rate) {
+            ladder.push(r.rate);
+        }
+    }
+    ladder
+        .into_iter()
+        .map(|rate| {
+            let bytes: u64 = trace
+                .records
+                .iter()
+                .filter(|r| r.rate == rate)
+                .map(|r| r.bytes)
+                .sum();
+            let frac = if total == 0 {
+                0.0
+            } else {
+                bytes as f64 / total as f64
+            };
+            (rate, frac)
+        })
+        .collect()
+}
+
+/// Aggregate throughput (Mbit/s) per consecutive `window`, covering the
+/// whole trace duration.
+pub fn throughput_timeline(trace: &Trace, window: SimDuration) -> Vec<f64> {
+    assert!(!window.is_zero(), "window must be positive");
+    let nwin = trace.duration.as_nanos().div_ceil(window.as_nanos()).max(1) as usize;
+    let mut bytes = vec![0u64; nwin];
+    for r in &trace.records {
+        let w = ((r.at.as_nanos() / window.as_nanos()) as usize).min(nwin - 1);
+        bytes[w] += r.bytes;
+    }
+    let secs = window.as_secs_f64();
+    bytes
+        .into_iter()
+        .map(|b| b as f64 * 8.0 / secs / 1e6)
+        .collect()
+}
+
+/// Jain fairness index of per-user *airtime* within each consecutive
+/// `window` — the short-term fairness measure of the paper's §4.5
+/// discussion (after Koksal et al.). Airtime is estimated from each
+/// record's bytes and rate plus a fixed per-frame overhead; windows
+/// with fewer than two active users are skipped (`None`).
+pub fn airtime_fairness_timeline(trace: &Trace, window: SimDuration) -> Vec<Option<f64>> {
+    assert!(!window.is_zero(), "window must be positive");
+    let nwin = trace.duration.as_nanos().div_ceil(window.as_nanos()).max(1) as usize;
+    let max_user = trace.records.iter().map(|r| r.user).max().unwrap_or(0);
+    let stride = max_user + 1;
+    let mut airtime = vec![0.0f64; nwin * stride];
+    const PER_FRAME_OVERHEAD_US: f64 = 570.0; // DIFS + PLCP + SIFS + ACK
+    for r in &trace.records {
+        let w = ((r.at.as_nanos() / window.as_nanos()) as usize).min(nwin - 1);
+        let us = r.bytes as f64 * 8.0 / r.rate.bps() as f64 * 1e6 + PER_FRAME_OVERHEAD_US;
+        airtime[w * stride + r.user] += us;
+    }
+    (0..nwin)
+        .map(|w| {
+            let row: Vec<f64> = airtime[w * stride..(w + 1) * stride]
+                .iter()
+                .copied()
+                .filter(|&x| x > 0.0)
+                .collect();
+            if row.len() < 2 {
+                None
+            } else {
+                let sum: f64 = row.iter().sum();
+                let sumsq: f64 = row.iter().map(|x| x * x).sum();
+                Some(sum * sum / (row.len() as f64 * sumsq))
+            }
+        })
+        .collect()
+}
+
+/// Busy-interval statistics (Figure 5).
+#[derive(Clone, Debug)]
+pub struct BusyIntervals {
+    /// Number of windows inspected.
+    pub windows: usize,
+    /// Number of windows whose throughput exceeded the threshold.
+    pub busy: usize,
+    /// For each busy window: the heaviest user's fraction of that
+    /// window's bytes, in time order.
+    pub heaviest_fraction: Vec<f64>,
+}
+
+impl BusyIntervals {
+    /// Mean heaviest-user fraction across busy windows (0 if none).
+    pub fn mean_heaviest(&self) -> f64 {
+        if self.heaviest_fraction.is_empty() {
+            0.0
+        } else {
+            self.heaviest_fraction.iter().sum::<f64>() / self.heaviest_fraction.len() as f64
+        }
+    }
+
+    /// Fraction of busy windows in which the heaviest user moved at
+    /// least `threshold` of the bytes (e.g. 0.99 ≈ "had the AP to
+    /// itself").
+    pub fn solo_fraction(&self, threshold: f64) -> f64 {
+        if self.heaviest_fraction.is_empty() {
+            return 0.0;
+        }
+        let solo = self
+            .heaviest_fraction
+            .iter()
+            .filter(|&&f| f >= threshold)
+            .count();
+        solo as f64 / self.heaviest_fraction.len() as f64
+    }
+}
+
+/// Finds busy windows (aggregate throughput > `threshold_mbps` over
+/// each `window`) and computes the heaviest user's byte share in each —
+/// the paper's Figure 5 analysis with its 4 Mbit/s = 80%-of-saturation
+/// threshold.
+pub fn busy_intervals(trace: &Trace, window: SimDuration, threshold_mbps: f64) -> BusyIntervals {
+    assert!(!window.is_zero(), "window must be positive");
+    let nwin = trace.duration.as_nanos().div_ceil(window.as_nanos()).max(1) as usize;
+    // Per-window, per-user byte tallies (user ids are small dense ints).
+    let max_user = trace.records.iter().map(|r| r.user).max().unwrap_or(0);
+    let mut tallies = vec![0u64; nwin * (max_user + 1)];
+    let mut totals = vec![0u64; nwin];
+    for r in &trace.records {
+        let w = ((r.at.as_nanos() / window.as_nanos()) as usize).min(nwin - 1);
+        tallies[w * (max_user + 1) + r.user] += r.bytes;
+        totals[w] += r.bytes;
+    }
+    let secs = window.as_secs_f64();
+    let mut heaviest = Vec::new();
+    let mut busy = 0;
+    for w in 0..nwin {
+        let mbps = totals[w] as f64 * 8.0 / secs / 1e6;
+        if mbps > threshold_mbps {
+            busy += 1;
+            let row = &tallies[w * (max_user + 1)..(w + 1) * (max_user + 1)];
+            let top = *row.iter().max().expect("non-empty row");
+            heaviest.push(top as f64 / totals[w] as f64);
+        }
+    }
+    BusyIntervals {
+        windows: nwin,
+        busy,
+        heaviest_fraction: heaviest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FrameRecord;
+    use airtime_sim::SimTime;
+
+    fn rec(t_ms: u64, user: usize, rate: DataRate, bytes: u64) -> FrameRecord {
+        FrameRecord {
+            at: SimTime::from_millis(t_ms),
+            user,
+            rate,
+            bytes,
+            downlink: true,
+        }
+    }
+
+    fn demo_trace() -> Trace {
+        let mut t = Trace::new(SimDuration::from_secs(3));
+        // Window 0: user 0 moves 600 kB at 11M, user 1 moves 150 kB at 1M.
+        for i in 0..400 {
+            t.push(rec(i * 2, 0, DataRate::B11, 1500));
+        }
+        for i in 0..100 {
+            t.push(rec(800 + i, 1, DataRate::B1, 1500));
+        }
+        // Window 1: only user 1, light (not busy).
+        t.push(rec(1500, 1, DataRate::B1, 1500));
+        // Window 2: user 1 heavy at 2M.
+        for i in 0..500 {
+            t.push(rec(2000 + i, 1, DataRate::B2, 1500));
+        }
+        t
+    }
+
+    #[test]
+    fn byte_fractions_sum_to_one_and_split_correctly() {
+        let t = demo_trace();
+        let fracs = bytes_by_rate(&t);
+        let total: f64 = fracs.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let get = |rate| {
+            fracs
+                .iter()
+                .find(|(r, _)| *r == rate)
+                .map(|(_, f)| *f)
+                .unwrap()
+        };
+        // 400×1500 at 11M, 101×1500 at 1M, 500×1500 at 2M.
+        let total_b = 1001.0 * 1500.0;
+        assert!((get(DataRate::B11) - 400.0 * 1500.0 / total_b).abs() < 1e-12);
+        assert!((get(DataRate::B1) - 101.0 * 1500.0 / total_b).abs() < 1e-12);
+        assert!((get(DataRate::B2) - 500.0 * 1500.0 / total_b).abs() < 1e-12);
+        assert_eq!(get(DataRate::B5_5), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_fractions_are_zero() {
+        let t = Trace::new(SimDuration::from_secs(1));
+        let fracs = bytes_by_rate(&t);
+        assert!(fracs.iter().all(|(_, f)| *f == 0.0));
+    }
+
+    #[test]
+    fn timeline_buckets_throughput() {
+        let t = demo_trace();
+        let tl = throughput_timeline(&t, SimDuration::from_secs(1));
+        assert_eq!(tl.len(), 3);
+        // Window 0: 500 × 1500 B = 6 Mbit.
+        assert!((tl[0] - 6.0).abs() < 1e-9, "tl0={}", tl[0]);
+        assert!(tl[1] < 0.1);
+        assert!((tl[2] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_interval_detection_and_heaviest_user() {
+        let t = demo_trace();
+        let b = busy_intervals(&t, SimDuration::from_secs(1), 4.0);
+        assert_eq!(b.windows, 3);
+        assert_eq!(b.busy, 2);
+        // Window 0: user 0 has 400/500 of bytes; window 2: user 1 solo.
+        assert!((b.heaviest_fraction[0] - 0.8).abs() < 1e-12);
+        assert!((b.heaviest_fraction[1] - 1.0).abs() < 1e-12);
+        assert!((b.mean_heaviest() - 0.9).abs() < 1e-12);
+        assert!((b.solo_fraction(0.99) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_busy_windows_below_threshold() {
+        let t = demo_trace();
+        let b = busy_intervals(&t, SimDuration::from_secs(1), 100.0);
+        assert_eq!(b.busy, 0);
+        assert_eq!(b.mean_heaviest(), 0.0);
+        assert_eq!(b.solo_fraction(0.5), 0.0);
+    }
+
+    #[test]
+    fn short_term_fairness_timeline() {
+        // Window 0: two users with equal airtime at the same rate.
+        let mut t = Trace::new(SimDuration::from_secs(2));
+        for i in 0..50 {
+            t.push(rec(i * 2, 0, DataRate::B11, 1500));
+            t.push(rec(i * 2 + 1, 1, DataRate::B11, 1500));
+        }
+        // Window 1: only user 0 → not measurable.
+        t.push(rec(1500, 0, DataRate::B11, 1500));
+        let tl = airtime_fairness_timeline(&t, SimDuration::from_secs(1));
+        assert_eq!(tl.len(), 2);
+        let j0 = tl[0].expect("two users active");
+        assert!(j0 > 0.99, "equal airtime should be fair: {j0}");
+        assert!(tl[1].is_none());
+    }
+
+    #[test]
+    fn short_term_fairness_detects_airtime_skew() {
+        // Equal packet counts, 11M vs 1M: airtime is skewed ~8:1.
+        let mut t = Trace::new(SimDuration::from_secs(1));
+        for i in 0..50 {
+            t.push(rec(i * 2, 0, DataRate::B11, 1500));
+            t.push(rec(i * 2 + 1, 1, DataRate::B1, 1500));
+        }
+        let tl = airtime_fairness_timeline(&t, SimDuration::from_secs(1));
+        let j = tl[0].expect("two users");
+        assert!(j < 0.75, "skewed airtime should score low: {j}");
+    }
+
+    #[test]
+    fn records_beyond_duration_clamp_to_last_window() {
+        let mut t = Trace::new(SimDuration::from_secs(1));
+        t.push(rec(1500, 0, DataRate::B11, 1500)); // past the end
+        let tl = throughput_timeline(&t, SimDuration::from_secs(1));
+        assert_eq!(tl.len(), 1);
+        assert!(tl[0] > 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Synthetic workload generators standing in for the paper's captures.
+//!
+//! Substitution note (see DESIGN.md): the MIT workshop sniffer logs and
+//! the Dartmouth Whittemore tcpdump trace are not redistributable, so
+//! these generators produce frame traces with the same *statistical
+//! features the analyses depend on* — per-user rate assignments drawn
+//! from a configurable mix (Figure 1) and bursty multi-user sessions
+//! with heavy-tailed demands that congest the AP (Figure 5). Every
+//! generator is a pure function of its config and seed.
+
+use airtime_phy::DataRate;
+use airtime_sim::{SimDuration, SimRng, SimTime};
+
+use crate::record::{FrameRecord, Trace};
+
+/// Configuration for a workshop-style trace (Figure 1, WS-1..3).
+#[derive(Clone, Debug)]
+pub struct WorkshopConfig {
+    /// Attendees with active laptops.
+    pub users: usize,
+    /// Session length.
+    pub duration: SimDuration,
+    /// Probability weights for a user's operating rate, ordered as
+    /// [1, 2, 5.5, 11] Mbit/s. Users sit still, so each keeps one rate.
+    pub rate_weights: [f64; 4],
+    /// Mean number of flows each user starts per minute.
+    pub flows_per_minute: f64,
+    /// Bounded-Pareto flow sizes (shape, lo bytes, hi bytes).
+    pub flow_size: (f64, f64, f64),
+}
+
+impl WorkshopConfig {
+    /// WS-1: almost everyone near the AP at 11 Mbit/s.
+    pub fn ws1() -> Self {
+        WorkshopConfig {
+            users: 25,
+            duration: SimDuration::from_secs(90 * 60),
+            rate_weights: [0.04, 0.03, 0.08, 0.85],
+            flows_per_minute: 1.5,
+            flow_size: (1.2, 20e3, 20e6),
+        }
+    }
+
+    /// WS-2: over 30% of bytes below 11 Mbit/s (the paper's worst mix).
+    pub fn ws2() -> Self {
+        WorkshopConfig {
+            rate_weights: [0.12, 0.08, 0.15, 0.65],
+            ..WorkshopConfig::ws1()
+        }
+    }
+
+    /// WS-3: intermediate diversity.
+    pub fn ws3() -> Self {
+        WorkshopConfig {
+            rate_weights: [0.07, 0.05, 0.12, 0.76],
+            ..WorkshopConfig::ws1()
+        }
+    }
+}
+
+/// Generates a workshop-style sniffer trace.
+pub fn workshop_trace(config: &WorkshopConfig, seed: u64) -> Trace {
+    assert!(config.users > 0, "need at least one user");
+    let master = SimRng::new(seed);
+    let mut assign_rng = master.substream(1);
+    let rates: Vec<DataRate> = (0..config.users)
+        .map(|_| DataRate::ALL_B[assign_rng.weighted_index(&config.rate_weights)])
+        .collect();
+    // Generate flow arrivals per user, then emit frames paced at each
+    // user's achievable rate (a sniffer-eye approximation: exact MAC
+    // interleaving does not matter for byte fractions).
+    let mut events: Vec<FrameRecord> = Vec::new();
+    let span = config.duration.as_secs_f64();
+    for (user, &rate) in rates.iter().enumerate() {
+        let mut rng = master.substream(100 + user as u64);
+        let mean_gap = 60.0 / config.flows_per_minute;
+        let mut t = rng.exponential(mean_gap);
+        while t < span {
+            let (a, lo, hi) = config.flow_size;
+            let flow_bytes = rng.bounded_pareto(a, lo, hi);
+            let frames = (flow_bytes / 1500.0).ceil() as u64;
+            // Effective pacing ≈ half the nominal rate (MAC overhead and
+            // sharing); exact value only shifts flow spans.
+            let per_frame = 1500.0 * 8.0 / (rate.bps() as f64 * 0.5);
+            for k in 0..frames {
+                let at = t + k as f64 * per_frame;
+                if at >= span {
+                    break;
+                }
+                events.push(FrameRecord {
+                    at: SimTime::ZERO + SimDuration::from_secs_f64(at),
+                    user,
+                    rate,
+                    bytes: 1500,
+                    downlink: rng.chance(0.7),
+                });
+            }
+            t += rng
+                .exponential(mean_gap)
+                .max(frames as f64 * per_frame * 0.2);
+        }
+    }
+    events.sort_by_key(|r| r.at);
+    let mut trace = Trace::new(config.duration);
+    for e in events {
+        trace.push(e);
+    }
+    trace
+}
+
+/// Configuration for a residence-hall trace (Figure 5).
+#[derive(Clone, Debug)]
+pub struct ResidenceConfig {
+    /// Residents using this AP.
+    pub users: usize,
+    /// Observation window (the paper analyses one day).
+    pub duration: SimDuration,
+    /// Mean idle time between a user's active periods.
+    pub mean_idle_secs: f64,
+    /// Mean length of an active period.
+    pub mean_active_secs: f64,
+    /// Bounded-Pareto per-user demand while active, in Mbit/s
+    /// (shape, lo, hi). The heavy tail makes one user dominate most
+    /// busy seconds without ever quite having the AP to itself.
+    pub demand_mbps: (f64, f64, f64),
+    /// Shared channel capacity in Mbit/s (≈ TCP saturation at 11M).
+    pub capacity_mbps: f64,
+}
+
+impl Default for ResidenceConfig {
+    fn default() -> Self {
+        ResidenceConfig {
+            users: 12,
+            duration: SimDuration::from_secs(6 * 3600),
+            mean_idle_secs: 90.0,
+            mean_active_secs: 25.0,
+            demand_mbps: (1.1, 0.05, 20.0),
+            capacity_mbps: 5.1,
+        }
+    }
+}
+
+/// Generates a residence-hall AP trace: on/off user sessions with
+/// heavy-tailed demands sharing a fixed capacity (processor sharing, as
+/// TCP approximates). Emits one aggregate record per user per 100 ms.
+pub fn residence_trace(config: &ResidenceConfig, seed: u64) -> Trace {
+    assert!(config.users > 0, "need at least one user");
+    let master = SimRng::new(seed);
+    let step = SimDuration::from_millis(100);
+    let steps = config.duration / step;
+    // Per-user session state machines.
+    struct UserState {
+        rng: SimRng,
+        active_until: f64,
+        idle_until: f64,
+        demand: f64,
+    }
+    let mut users: Vec<UserState> = (0..config.users)
+        .map(|u| {
+            let mut rng = master.substream(500 + u as u64);
+            let idle0 = rng.exponential(config.mean_idle_secs);
+            UserState {
+                rng,
+                active_until: 0.0,
+                idle_until: idle0,
+                demand: 0.0,
+            }
+        })
+        .collect();
+    let mut trace = Trace::new(config.duration);
+    let step_secs = step.as_secs_f64();
+    for k in 0..steps {
+        let now = k as f64 * step_secs;
+        // Advance session state machines.
+        for u in users.iter_mut() {
+            if u.active_until > now {
+                continue; // still active
+            }
+            if u.idle_until <= now {
+                // Start a new active period.
+                let (a, lo, hi) = config.demand_mbps;
+                u.demand = u.rng.bounded_pareto(a, lo, hi);
+                u.active_until = now + u.rng.exponential(config.mean_active_secs);
+                u.idle_until = u.active_until + u.rng.exponential(config.mean_idle_secs);
+            } else {
+                u.demand = 0.0;
+            }
+        }
+        // Processor-sharing of capacity among active demands (max-min).
+        let demands: Vec<f64> = users
+            .iter()
+            .map(|u| if u.active_until > now { u.demand } else { 0.0 })
+            .collect();
+        let alloc = max_min(config.capacity_mbps, &demands);
+        let at = SimTime::ZERO + step * k;
+        for (user, &mbps) in alloc.iter().enumerate() {
+            if mbps <= 0.0 {
+                continue;
+            }
+            let bytes = (mbps * 1e6 / 8.0 * step_secs) as u64;
+            if bytes == 0 {
+                continue;
+            }
+            trace.push(FrameRecord {
+                at,
+                user,
+                rate: DataRate::B11,
+                bytes,
+                downlink: true,
+            });
+        }
+    }
+    trace
+}
+
+/// Minimal max-min water-filling (duplicated from `airtime-core` to
+/// keep this crate's dependency set to sim+phy).
+fn max_min(capacity: f64, demands: &[f64]) -> Vec<f64> {
+    let n = demands.len();
+    let mut alloc = vec![0.0; n];
+    let mut remaining = capacity;
+    loop {
+        let unsated: Vec<usize> = (0..n).filter(|&i| alloc[i] < demands[i] - 1e-12).collect();
+        if unsated.is_empty() || remaining <= 1e-12 {
+            break;
+        }
+        let share = remaining / unsated.len() as f64;
+        let mut consumed = 0.0;
+        for &i in &unsated {
+            let give = (demands[i] - alloc[i]).min(share);
+            alloc[i] += give;
+            consumed += give;
+        }
+        remaining -= consumed;
+        if consumed <= 1e-12 {
+            break;
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{busy_intervals, bytes_by_rate};
+
+    #[test]
+    fn workshop_trace_is_deterministic() {
+        let cfg = WorkshopConfig::ws2();
+        let a = workshop_trace(&cfg, 7);
+        let b = workshop_trace(&cfg, 7);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        let c = workshop_trace(&cfg, 8);
+        assert_ne!(a.total_bytes(), c.total_bytes());
+    }
+
+    #[test]
+    fn ws1_is_mostly_11m() {
+        let t = workshop_trace(&WorkshopConfig::ws1(), 42);
+        let fracs = bytes_by_rate(&t);
+        let f11 = fracs
+            .iter()
+            .find(|(r, _)| *r == DataRate::B11)
+            .map(|(_, f)| *f)
+            .unwrap();
+        assert!(f11 > 0.6, "11M fraction {f11}");
+    }
+
+    #[test]
+    fn ws2_shows_substantial_rate_diversity() {
+        // The paper: "During WS-2, more than 30% of the data bytes were
+        // transferred using data rates lower than 11 Mbps."
+        let t = workshop_trace(&WorkshopConfig::ws2(), 42);
+        let fracs = bytes_by_rate(&t);
+        let below_11: f64 = fracs
+            .iter()
+            .filter(|(r, _)| *r != DataRate::B11)
+            .map(|(_, f)| f)
+            .sum();
+        assert!(
+            (0.2..0.7).contains(&below_11),
+            "sub-11M fraction {below_11}"
+        );
+        let total: f64 = fracs.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residence_trace_congests_with_company() {
+        // The Figure 5 regime: plenty of busy 1 s intervals, the
+        // heaviest user usually dominant but rarely alone.
+        let t = residence_trace(&ResidenceConfig::default(), 11);
+        let b = busy_intervals(&t, SimDuration::from_secs(1), 4.0);
+        assert!(b.busy > 200, "busy windows {}", b.busy);
+        let mean = b.mean_heaviest();
+        assert!((0.45..0.95).contains(&mean), "mean heaviest {mean}");
+        let solo = b.solo_fraction(0.99);
+        assert!(solo < 0.5, "solo fraction {solo}");
+    }
+
+    #[test]
+    fn residence_respects_capacity() {
+        let cfg = ResidenceConfig::default();
+        let t = residence_trace(&cfg, 3);
+        let tl = crate::analysis::throughput_timeline(&t, SimDuration::from_secs(1));
+        for (i, mbps) in tl.iter().enumerate() {
+            assert!(
+                *mbps <= cfg.capacity_mbps * 1.02,
+                "window {i} exceeds capacity: {mbps}"
+            );
+        }
+    }
+
+    #[test]
+    fn residence_trace_is_deterministic() {
+        let cfg = ResidenceConfig {
+            duration: SimDuration::from_secs(600),
+            ..ResidenceConfig::default()
+        };
+        let a = residence_trace(&cfg, 5);
+        let b = residence_trace(&cfg, 5);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn internal_max_min_matches_expectations() {
+        let a = max_min(6.0, &[1.0, 10.0, 10.0]);
+        assert!((a[0] - 1.0).abs() < 1e-9);
+        assert!((a[1] - 2.5).abs() < 1e-9);
+        assert!((a[2] - 2.5).abs() < 1e-9);
+    }
+}

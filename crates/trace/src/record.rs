@@ -1,0 +1,210 @@
+//! Frame-trace records — what a passive sniffer sees.
+
+use airtime_phy::DataRate;
+use airtime_sim::{SimDuration, SimTime};
+
+/// One captured data frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrameRecord {
+    /// Capture timestamp.
+    pub at: SimTime,
+    /// The client user this frame belongs to (source for uplink,
+    /// destination for downlink).
+    pub user: usize,
+    /// PHY rate the frame was sent at.
+    pub rate: DataRate,
+    /// Frame size on the air in bytes.
+    pub bytes: u64,
+    /// True for AP→client frames.
+    pub downlink: bool,
+}
+
+/// A capture session: records plus the observation span.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Frames in non-decreasing timestamp order.
+    pub records: Vec<FrameRecord>,
+    /// Length of the observation window.
+    pub duration: SimDuration,
+}
+
+impl Trace {
+    /// Creates an empty trace spanning `duration`.
+    pub fn new(duration: SimDuration) -> Self {
+        Trace {
+            records: Vec::new(),
+            duration,
+        }
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if timestamps go backwards.
+    pub fn push(&mut self, rec: FrameRecord) {
+        debug_assert!(
+            self.records.last().is_none_or(|last| last.at <= rec.at),
+            "trace timestamps must be non-decreasing"
+        );
+        self.records.push(rec);
+    }
+
+    /// Total bytes captured.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Number of distinct users seen.
+    pub fn user_count(&self) -> usize {
+        let mut users: Vec<usize> = self.records.iter().map(|r| r.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        users.len()
+    }
+
+    /// Serialises the trace as CSV (`t_ns,user,rate_bps,bytes,downlink`
+    /// with a header row) for external analysis tooling.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 32 + 64);
+        out.push_str(&format!("# duration_ns={}\n", self.duration.as_nanos()));
+        out.push_str("t_ns,user,rate_bps,bytes,downlink\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                r.at.as_nanos(),
+                r.user,
+                r.rate.bps(),
+                r.bytes,
+                u8::from(r.downlink)
+            ));
+        }
+        out
+    }
+
+    /// Parses a trace previously produced by [`Trace::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_csv(text: &str) -> Result<Trace, String> {
+        let mut duration = SimDuration::ZERO;
+        let mut trace = Trace::new(SimDuration::ZERO);
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("t_ns,") {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# duration_ns=") {
+                duration = SimDuration::from_nanos(
+                    rest.parse().map_err(|e| format!("line {lineno}: {e}"))?,
+                );
+                continue;
+            }
+            let mut parts = line.split(',');
+            let mut next = |what: &str| {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: missing {what}"))
+            };
+            let at = SimTime::from_nanos(
+                next("t_ns")?
+                    .parse()
+                    .map_err(|e| format!("line {lineno}: {e}"))?,
+            );
+            let user: usize = next("user")?
+                .parse()
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            let bps: u64 = next("rate_bps")?
+                .parse()
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            let rate = rate_from_bps(bps).ok_or(format!("line {lineno}: unknown rate {bps}"))?;
+            let bytes: u64 = next("bytes")?
+                .parse()
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+            let downlink = next("downlink")? == "1";
+            trace.push(FrameRecord {
+                at,
+                user,
+                rate,
+                bytes,
+                downlink,
+            });
+        }
+        trace.duration = duration;
+        Ok(trace)
+    }
+}
+
+/// Inverse of [`DataRate::bps`].
+fn rate_from_bps(bps: u64) -> Option<DataRate> {
+    let mut all = DataRate::ALL_B.to_vec();
+    all.extend(DataRate::ALL_G);
+    all.into_iter().find(|r| r.bps() == bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ms: u64, user: usize, bytes: u64) -> FrameRecord {
+        FrameRecord {
+            at: SimTime::from_millis(t_ms),
+            user,
+            rate: DataRate::B11,
+            bytes,
+            downlink: false,
+        }
+    }
+
+    #[test]
+    fn accumulates_and_counts() {
+        let mut t = Trace::new(SimDuration::from_secs(1));
+        t.push(rec(0, 0, 100));
+        t.push(rec(5, 2, 200));
+        t.push(rec(5, 0, 300));
+        assert_eq!(t.total_bytes(), 600);
+        assert_eq!(t.user_count(), 2);
+        assert_eq!(t.records.len(), 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(SimDuration::from_secs(1));
+        assert_eq!(t.total_bytes(), 0);
+        assert_eq!(t.user_count(), 0);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Trace::new(SimDuration::from_secs(2));
+        t.push(rec(0, 0, 1500));
+        t.push(rec(7, 3, 40));
+        let mut far = rec(1999, 1, 1500);
+        far.rate = DataRate::G54;
+        far.downlink = true;
+        t.push(far);
+        let csv = t.to_csv();
+        let back = Trace::from_csv(&csv).expect("roundtrip parses");
+        assert_eq!(back.duration, t.duration);
+        assert_eq!(back.records, t.records);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(Trace::from_csv("1,2,notanumber,4,0").is_err());
+        assert!(Trace::from_csv("1,2").is_err());
+        // Header and blank lines are fine.
+        let ok = Trace::from_csv("t_ns,user,rate_bps,bytes,downlink\n\n").unwrap();
+        assert_eq!(ok.records.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    #[cfg(debug_assertions)]
+    fn rejects_time_travel() {
+        let mut t = Trace::new(SimDuration::from_secs(1));
+        t.push(rec(10, 0, 1));
+        t.push(rec(5, 0, 1));
+    }
+}

@@ -1,0 +1,903 @@
+//! The experiment engine: event loop gluing MAC, transport and the AP
+//! scheduler together.
+//!
+//! Topology (the paper's testbed): every client station exchanges
+//! packets with wired hosts through the AP. Uplink data crosses the air
+//! then the wired backbone; the returning acks cross the backbone and
+//! then *queue at the AP* — which is exactly where TBR regulates them,
+//! throttling uplink TCP without touching the clients (§4.1).
+//!
+//! ```text
+//!  client ── DCF air ── AP ══ wired (delay) ══ host
+//!                       │
+//!                [ApScheduler: FIFO / RR / DRR / TBR]
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use airtime_core::{
+    ApScheduler, ClientId, DrrScheduler, EnqueueOutcome, FifoScheduler, QueuedPacket,
+    RoundRobinScheduler, TbrScheduler, TxopScheduler,
+};
+use airtime_mac::{DcfConfig, DcfWorld, Frame, FrameOutcome, MacEffect, MacEvent, NodeId};
+use airtime_net::{
+    FlowId, Packet, PacketKind, RateLimiter, ReceiverEffect, SenderEffect, TcpReceiver, TcpSender,
+    UdpConfig, UdpSource,
+};
+use airtime_phy::{Arf, DataRate, LinkErrorModel};
+use airtime_sim::{EventQueue, Histogram, RateMeter, SimDuration, SimRng, SimTime};
+use airtime_trace::{FrameRecord, Trace};
+
+use crate::config::{Direction, LinkSpec, NetworkConfig, Regulate, SchedulerKind, Transport};
+use crate::report::{FlowReport, NodeReport, Report};
+
+const AP: NodeId = NodeId(0);
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Mac(MacEvent),
+    /// A packet finished crossing the wire towards the AP.
+    WiredToAp(Packet),
+    /// A packet finished crossing the wire towards its wired host.
+    WiredToHost(Packet),
+    RtoFired {
+        flow: usize,
+        generation: u64,
+    },
+    DelAckFired {
+        flow: usize,
+        generation: u64,
+    },
+    SchedTick,
+    Pump {
+        flow: usize,
+    },
+    StartFlow {
+        flow: usize,
+    },
+    WarmupDone,
+}
+
+/// Concrete scheduler dispatch (an enum rather than `dyn` so the TBR
+/// variant stays reachable for token inspection).
+enum Sched {
+    Fifo(FifoScheduler),
+    Rr(RoundRobinScheduler),
+    Drr(DrrScheduler),
+    Tbr(TbrScheduler),
+    Txop(TxopScheduler),
+}
+
+macro_rules! sched_delegate {
+    ($self:ident, $s:ident => $e:expr) => {
+        match $self {
+            Sched::Fifo($s) => $e,
+            Sched::Rr($s) => $e,
+            Sched::Drr($s) => $e,
+            Sched::Tbr($s) => $e,
+            Sched::Txop($s) => $e,
+        }
+    };
+}
+
+impl Sched {
+    fn as_tbr(&self) -> Option<&TbrScheduler> {
+        match self {
+            Sched::Tbr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn on_associate(&mut self, c: ClientId, now: SimTime) {
+        sched_delegate!(self, s => s.on_associate(c, now))
+    }
+    fn enqueue(&mut self, p: QueuedPacket, now: SimTime) -> EnqueueOutcome {
+        sched_delegate!(self, s => s.enqueue(p, now))
+    }
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
+        sched_delegate!(self, s => s.dequeue(now))
+    }
+    fn on_complete(&mut self, c: ClientId, airtime: SimDuration, by_ap: bool, now: SimTime) {
+        sched_delegate!(self, s => s.on_complete(c, airtime, by_ap, now))
+    }
+    fn on_tick(&mut self, now: SimTime) {
+        sched_delegate!(self, s => s.on_tick(now))
+    }
+    fn tick_period(&self) -> Option<SimDuration> {
+        sched_delegate!(self, s => s.tick_period())
+    }
+    fn queue_len(&self, c: ClientId) -> usize {
+        sched_delegate!(self, s => s.queue_len(c))
+    }
+    fn drops(&self) -> u64 {
+        sched_delegate!(self, s => s.drops())
+    }
+}
+
+struct FlowRt {
+    station: usize,
+    transport: Transport,
+    direction: Direction,
+    start: SimTime,
+    started: bool,
+    tcp_tx: Option<TcpSender>,
+    tcp_rx: Option<TcpReceiver>,
+    udp: Option<UdpSource>,
+    meter: RateMeter,
+    metered_bytes: u64,
+    completion: Option<SimDuration>,
+    /// Queueing + air latency of delivered data packets, milliseconds.
+    latency: Histogram,
+    /// Guards against scheduling redundant Pump events.
+    pump_pending: bool,
+}
+
+struct Sim<'c> {
+    cfg: &'c NetworkConfig,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    mac: DcfWorld,
+    sched: Sched,
+    flows: Vec<FlowRt>,
+    /// Per-station uplink interface queues (packet, arrival time).
+    client_q: Vec<VecDeque<(Packet, SimTime)>>,
+    arf: Vec<Option<Arf>>,
+    fixed_rate: Vec<DataRate>,
+    /// Frame handle → (packet, time it entered the AP/client queue),
+    /// for frames in the MAC or AP queues.
+    in_transit: HashMap<u64, (Packet, SimTime)>,
+    next_handle: u64,
+    occupancy_at_warmup: Vec<SimDuration>,
+    busy_at_warmup: SimDuration,
+    trace: Option<Trace>,
+    /// EWMA of observed downlink attempt-failure rate per node (the
+    /// §4.2 loss estimator's input).
+    fer_est: Vec<f64>,
+}
+
+/// Runs one experiment to completion.
+///
+/// # Panics
+///
+/// Panics on malformed configs (no stations, zero duration, warm-up
+/// longer than the run).
+pub fn run(cfg: &NetworkConfig) -> Report {
+    assert!(!cfg.stations.is_empty(), "need at least one station");
+    assert!(!cfg.duration.is_zero(), "duration must be positive");
+    assert!(cfg.warmup < cfg.duration, "warm-up must precede the end");
+    let mut sim = Sim::new(cfg);
+    sim.queue
+        .schedule(SimTime::ZERO + cfg.warmup, Event::WarmupDone);
+    if let Some(p) = sim.sched.tick_period() {
+        sim.queue.schedule(SimTime::ZERO + p, Event::SchedTick);
+    }
+    for f in 0..sim.flows.len() {
+        let at = sim.flows[f].start;
+        sim.queue.schedule(at, Event::StartFlow { flow: f });
+    }
+    let end = SimTime::ZERO + cfg.duration;
+    while let Some((t, ev)) = sim.queue.pop() {
+        if t > end {
+            break;
+        }
+        sim.now = t;
+        sim.dispatch(ev);
+        sim.pump_all();
+        sim.kick_all();
+    }
+    sim.now = end;
+    sim.report()
+}
+
+impl<'c> Sim<'c> {
+    fn new(cfg: &'c NetworkConfig) -> Self {
+        let n = cfg.stations.len();
+        let mut links = vec![LinkErrorModel::Perfect; n + 1];
+        let mut arf = vec![None; n + 1];
+        let mut fixed_rate = vec![DataRate::B11; n + 1];
+        for (i, st) in cfg.stations.iter().enumerate() {
+            let node = i + 1;
+            match &st.link {
+                LinkSpec::Fixed { rate, fer } => {
+                    links[node] = LinkErrorModel::FixedFer(*fer);
+                    fixed_rate[node] = *rate;
+                }
+                LinkSpec::Path {
+                    distance_ft,
+                    walls,
+                    shadow_db,
+                    initial_rate,
+                } => {
+                    links[node] = cfg.path_loss.link(
+                        airtime_phy::pathloss::feet_to_metres(*distance_ft),
+                        walls,
+                        *shadow_db,
+                    );
+                    arf[node] = Some(Arf::new(cfg.arf, *initial_rate, SimTime::ZERO));
+                }
+            }
+        }
+        let rng = SimRng::new(cfg.seed);
+        let mac = DcfWorld::new(
+            DcfConfig {
+                phy: cfg.phy,
+                ap: AP,
+                retry_rate_fallback: cfg.retry_rate_fallback,
+                rts_threshold: cfg.rts_threshold,
+            },
+            links,
+            rng.substream(1),
+        );
+        let mut sched = match &cfg.scheduler {
+            SchedulerKind::Fifo => Sched::Fifo(FifoScheduler::default()),
+            SchedulerKind::RoundRobin => Sched::Rr(RoundRobinScheduler::default()),
+            SchedulerKind::Drr => Sched::Drr(DrrScheduler::default()),
+            SchedulerKind::Tbr(tc) => Sched::Tbr(TbrScheduler::new(*tc)),
+            SchedulerKind::Txop(tc) => Sched::Txop(TxopScheduler::new(*tc)),
+        };
+        // Build flow runtimes.
+        let warmup_end = SimTime::ZERO + cfg.warmup;
+        let mut flows = Vec::new();
+        for (i, st) in cfg.stations.iter().enumerate() {
+            for spec in &st.flows {
+                let id = FlowId(flows.len());
+                let limiter = spec
+                    .rate_limit_bps
+                    .filter(|_| spec.transport == Transport::Tcp)
+                    .map(|bps| RateLimiter::new(bps, 2 * cfg.tcp.mss));
+                let (tcp_tx, tcp_rx, udp) = match spec.transport {
+                    Transport::Tcp => (
+                        Some(TcpSender::new(
+                            id,
+                            cfg.tcp.clone(),
+                            spec.task_bytes,
+                            limiter,
+                        )),
+                        Some(TcpReceiver::new(id, cfg.tcp.clone())),
+                        None,
+                    ),
+                    Transport::Udp => (
+                        None,
+                        None,
+                        Some(UdpSource::new(
+                            id,
+                            UdpConfig {
+                                datagram_bytes: 1500,
+                                rate_bps: spec.rate_limit_bps,
+                                task_bytes: spec.task_bytes,
+                            },
+                        )),
+                    ),
+                };
+                flows.push(FlowRt {
+                    station: i,
+                    transport: spec.transport,
+                    direction: spec.direction,
+                    start: spec.start,
+                    started: false,
+                    tcp_tx,
+                    tcp_rx,
+                    udp,
+                    meter: RateMeter::new(warmup_end),
+                    metered_bytes: 0,
+                    completion: None,
+                    latency: Histogram::new(0.0, 2_000.0, 400),
+                    pump_pending: false,
+                });
+            }
+        }
+        match cfg.regulate {
+            Regulate::PerStation => {
+                for i in 0..n {
+                    sched.on_associate(ClientId(i), SimTime::ZERO);
+                }
+            }
+            Regulate::PerFlow => {
+                for f in 0..flows.len() {
+                    sched.on_associate(ClientId(f), SimTime::ZERO);
+                }
+            }
+        }
+        Sim {
+            cfg,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            mac,
+            sched,
+            flows,
+            client_q: vec![VecDeque::new(); n + 1],
+            arf,
+            fixed_rate,
+            in_transit: HashMap::new(),
+            next_handle: 0,
+            occupancy_at_warmup: vec![SimDuration::ZERO; n + 1],
+            busy_at_warmup: SimDuration::ZERO,
+            trace: cfg.record_trace.then(|| Trace::new(cfg.duration)),
+            fer_est: vec![0.0; n + 1],
+        }
+    }
+
+    /// The scheduler key a packet of `flow` is regulated under.
+    fn reg_key(&self, flow: usize) -> ClientId {
+        match self.cfg.regulate {
+            Regulate::PerStation => ClientId(self.flows[flow].station),
+            Regulate::PerFlow => ClientId(flow),
+        }
+    }
+
+    /// The station index behind a scheduler key.
+    fn station_of_key(&self, key: ClientId) -> usize {
+        match self.cfg.regulate {
+            Regulate::PerStation => key.index(),
+            Regulate::PerFlow => self.flows[key.index()].station,
+        }
+    }
+
+    fn rate_of(&self, node: usize) -> DataRate {
+        match &self.arf[node] {
+            Some(a) => a.current_rate(),
+            None => self.fixed_rate[node],
+        }
+    }
+
+    fn new_handle(&mut self, pkt: Packet, born: SimTime) -> u64 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.in_transit.insert(h, (pkt, born));
+        h
+    }
+
+    // -- event dispatch ------------------------------------------------
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Mac(me) => {
+                let fx = self.mac.handle(self.now, me);
+                self.apply_mac_effects(fx);
+            }
+            Event::WiredToAp(pkt) => self.on_wired_to_ap(pkt),
+            Event::WiredToHost(pkt) => self.on_wired_to_host(pkt),
+            Event::RtoFired { flow, generation } => {
+                let now = self.now;
+                let mut fx = Vec::new();
+                if let Some(tx) = self.flows[flow].tcp_tx.as_mut() {
+                    tx.on_rto_fired(now, generation, &mut fx);
+                }
+                self.apply_sender_effects(flow, fx);
+            }
+            Event::DelAckFired { flow, generation } => {
+                let fx = match self.flows[flow].tcp_rx.as_mut() {
+                    Some(rx) => rx.on_delack_fired(generation),
+                    None => Vec::new(),
+                };
+                self.apply_receiver_effects(flow, fx);
+            }
+            Event::SchedTick => {
+                self.sched.on_tick(self.now);
+                if let Some(p) = self.sched.tick_period() {
+                    self.queue.schedule(self.now + p, Event::SchedTick);
+                }
+            }
+            Event::Pump { flow } => {
+                self.flows[flow].pump_pending = false;
+                // pump_all (called after dispatch) does the work.
+            }
+            Event::StartFlow { flow } => {
+                self.flows[flow].started = true;
+            }
+            Event::WarmupDone => {
+                for node in 0..self.client_q.len() {
+                    self.occupancy_at_warmup[node] = self.mac.occupancy(NodeId(node));
+                }
+                self.busy_at_warmup = self.mac.busy_time();
+            }
+        }
+    }
+
+    fn apply_mac_effects(&mut self, effects: Vec<MacEffect>) {
+        for e in effects {
+            match e {
+                MacEffect::Schedule { at, event } => self.queue.schedule(at, Event::Mac(event)),
+                MacEffect::Attempt {
+                    frame,
+                    success,
+                    collision,
+                    airtime: _,
+                } => {
+                    let node = client_node(&frame);
+                    if frame.src == AP && !collision {
+                        // Downlink attempts reveal the link's loss rate
+                        // (collisions are contention, not channel loss).
+                        let fail = if success { 0.0 } else { 1.0 };
+                        self.fer_est[node] = 0.95 * self.fer_est[node] + 0.05 * fail;
+                    }
+                    if let Some(a) = self.arf[node].as_mut() {
+                        if success {
+                            a.on_success(self.now);
+                        } else {
+                            a.on_failure(self.now);
+                        }
+                    }
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.push(FrameRecord {
+                            at: self.now,
+                            user: node - 1,
+                            rate: frame.rate,
+                            bytes: frame.msdu_bytes + airtime_phy::timing::MAC_DATA_OVERHEAD_BYTES,
+                            downlink: frame.src == AP,
+                        });
+                    }
+                }
+                MacEffect::Delivered { frame } => self.on_delivered(frame),
+                MacEffect::TxFinal {
+                    frame,
+                    outcome,
+                    airtime_total,
+                } => self.on_tx_final(frame, outcome, airtime_total),
+            }
+        }
+    }
+
+    /// A frame reached its destination MAC intact.
+    fn on_delivered(&mut self, frame: Frame) {
+        let (pkt, born) = match self.in_transit.get(&frame.handle) {
+            Some(p) => *p,
+            None => return,
+        };
+        if pkt.is_data() && self.now >= SimTime::ZERO + self.cfg.warmup {
+            let ms = self.now.saturating_since(born).as_secs_f64() * 1e3;
+            self.flows[pkt.flow.index()].latency.record(ms);
+        }
+        if frame.dst == AP {
+            // Uplink: forward across the backbone.
+            self.queue
+                .schedule(self.now + self.cfg.wired_delay, Event::WiredToHost(pkt));
+        } else {
+            // Downlink: hand to the client-side endpoint.
+            let flow = pkt.flow.index();
+            match pkt.kind {
+                PacketKind::TcpData { seq } => {
+                    let now = self.now;
+                    let fx = match self.flows[flow].tcp_rx.as_mut() {
+                        Some(rx) => rx.on_data(now, seq),
+                        None => Vec::new(),
+                    };
+                    self.meter_tcp_goodput(flow);
+                    self.apply_receiver_effects(flow, fx);
+                }
+                PacketKind::TcpAck { ack_seq } => {
+                    let now = self.now;
+                    let mut fx = Vec::new();
+                    if let Some(tx) = self.flows[flow].tcp_tx.as_mut() {
+                        tx.on_ack(now, ack_seq, &mut fx);
+                    }
+                    self.apply_sender_effects(flow, fx);
+                }
+                PacketKind::UdpData { .. } => {
+                    let now = self.now;
+                    self.flows[flow].meter.record(now, pkt.bytes);
+                }
+            }
+        }
+    }
+
+    /// The sender-side MAC finished with a frame (acked or dropped).
+    fn on_tx_final(&mut self, frame: Frame, _outcome: FrameOutcome, airtime_total: SimDuration) {
+        let pkt = self.in_transit.remove(&frame.handle);
+        let node = client_node(&frame);
+        let sent_by_ap = frame.src == AP;
+        let key = match (self.cfg.regulate, pkt) {
+            (Regulate::PerFlow, Some((p, _))) => self.reg_key(p.flow.index()),
+            _ => ClientId(node - 1),
+        };
+        // COMPLETEEVENT: uplink airtime may have to be estimated when
+        // the MAC header carries no retry count (§4.2 / §4.4).
+        let airtime = if sent_by_ap || self.cfg.uplink_retry_info {
+            airtime_total
+        } else {
+            let base = self.cfg.phy.exchange_time(frame.msdu_bytes, frame.rate);
+            if self.cfg.uplink_loss_estimator {
+                // §4.2 heuristic: expected attempts ≈ 1/(1−p̂) under
+                // geometric retransmission with the link's estimated
+                // loss rate.
+                let p = self.fer_est[node].min(0.9);
+                base.mul_f64(1.0 / (1.0 - p))
+            } else {
+                base
+            }
+        };
+        self.sched.on_complete(key, airtime, sent_by_ap, self.now);
+        // Optional §4.1 client cooperation: a client with a negative
+        // balance is told (via the piggybacked notification bit) to
+        // defer for the time its deficit takes to refill.
+        if self.cfg.client_cooperation && !sent_by_ap {
+            if let Some(tbr) = self.sched.as_tbr() {
+                let client = key;
+                if let (Some(tokens), Some(rate)) = (tbr.tokens_of(client), tbr.rate_of(client)) {
+                    if tokens < 0.0 && rate > 0.0 {
+                        let wait_ns = (-tokens / rate) as u64;
+                        let until = self.now + SimDuration::from_nanos(wait_ns);
+                        let fx = self.mac.set_defer(self.now, NodeId(node), until);
+                        self.apply_mac_effects(fx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_wired_to_ap(&mut self, pkt: Packet) {
+        // Queue at the AP for its destination client (APPTXEVENT).
+        let key = self.reg_key(pkt.flow.index());
+        let handle = self.new_handle(pkt, self.now);
+        let q = QueuedPacket {
+            client: key,
+            handle,
+            bytes: pkt.bytes,
+        };
+        if self.sched.enqueue(q, self.now) == EnqueueOutcome::Dropped {
+            self.in_transit.remove(&handle);
+        }
+    }
+
+    fn on_wired_to_host(&mut self, pkt: Packet) {
+        let flow = pkt.flow.index();
+        match pkt.kind {
+            PacketKind::TcpData { seq } => {
+                // Uplink flow's receiver lives on the wired host.
+                let now = self.now;
+                let fx = match self.flows[flow].tcp_rx.as_mut() {
+                    Some(rx) => rx.on_data(now, seq),
+                    None => Vec::new(),
+                };
+                self.meter_tcp_goodput(flow);
+                self.apply_receiver_effects(flow, fx);
+            }
+            PacketKind::TcpAck { ack_seq } => {
+                // Downlink flow's sender lives on the wired host.
+                let now = self.now;
+                let mut fx = Vec::new();
+                if let Some(tx) = self.flows[flow].tcp_tx.as_mut() {
+                    tx.on_ack(now, ack_seq, &mut fx);
+                }
+                self.apply_sender_effects(flow, fx);
+            }
+            PacketKind::UdpData { .. } => {
+                let now = self.now;
+                self.flows[flow].meter.record(now, pkt.bytes);
+            }
+        }
+    }
+
+    fn meter_tcp_goodput(&mut self, flow: usize) {
+        let now = self.now;
+        let f = &mut self.flows[flow];
+        if let Some(rx) = f.tcp_rx.as_ref() {
+            let total = rx.goodput_bytes();
+            let delta = total.saturating_sub(f.metered_bytes);
+            if delta > 0 {
+                f.metered_bytes = total;
+                f.meter.record(now, delta);
+            }
+        }
+    }
+
+    fn apply_sender_effects(&mut self, flow: usize, effects: Vec<SenderEffect>) {
+        for e in effects {
+            match e {
+                SenderEffect::ArmRto { at, generation } => {
+                    self.queue
+                        .schedule(at, Event::RtoFired { flow, generation });
+                }
+                SenderEffect::Complete => {
+                    let started = self.flows[flow].start;
+                    self.flows[flow].completion = Some(self.now.saturating_since(started));
+                }
+            }
+        }
+    }
+
+    fn apply_receiver_effects(&mut self, flow: usize, effects: Vec<ReceiverEffect>) {
+        for e in effects {
+            match e {
+                ReceiverEffect::SendAck { ack_seq } => {
+                    let f = &self.flows[flow];
+                    let ack = f
+                        .tcp_rx
+                        .as_ref()
+                        .expect("acks only from TCP receivers")
+                        .ack_packet(ack_seq);
+                    match f.direction {
+                        // Downlink data → client-side receiver → ack goes
+                        // up over the air.
+                        Direction::Downlink => {
+                            let node = f.station + 1;
+                            if self.client_q[node].len() < self.cfg.client_queue_cap {
+                                self.client_q[node].push_back((ack, self.now));
+                            }
+                        }
+                        // Uplink data → host-side receiver → ack crosses
+                        // the wire and queues at the AP.
+                        Direction::Uplink => {
+                            self.queue
+                                .schedule(self.now + self.cfg.wired_delay, Event::WiredToAp(ack));
+                        }
+                    }
+                }
+                ReceiverEffect::ArmDelAck { at, generation } => {
+                    self.queue
+                        .schedule(at, Event::DelAckFired { flow, generation });
+                }
+            }
+        }
+    }
+
+    // -- traffic pumping and MAC feeding --------------------------------
+
+    fn pump_all(&mut self) {
+        for flow in 0..self.flows.len() {
+            if !self.flows[flow].started {
+                continue;
+            }
+            match (self.flows[flow].transport, self.flows[flow].direction) {
+                (Transport::Tcp, Direction::Uplink) => self.pump_tcp_uplink(flow),
+                (Transport::Tcp, Direction::Downlink) => self.pump_tcp_downlink(flow),
+                (Transport::Udp, Direction::Uplink) => self.pump_udp_uplink(flow),
+                (Transport::Udp, Direction::Downlink) => self.pump_udp_downlink(flow),
+            }
+        }
+    }
+
+    fn schedule_pump(&mut self, flow: usize, at: SimTime) {
+        if !self.flows[flow].pump_pending {
+            self.flows[flow].pump_pending = true;
+            self.queue.schedule(at, Event::Pump { flow });
+        }
+    }
+
+    fn pump_tcp_uplink(&mut self, flow: usize) {
+        let node = self.flows[flow].station + 1;
+        let now = self.now;
+        let mut fx = Vec::new();
+        while self.client_q[node].len() < self.cfg.client_queue_cap {
+            let pkt = match self.flows[flow].tcp_tx.as_mut() {
+                Some(tx) => tx.poll_packet(now, &mut fx),
+                None => None,
+            };
+            match pkt {
+                Some(p) => self.client_q[node].push_back((p, now)),
+                None => break,
+            }
+        }
+        self.apply_sender_effects(flow, fx);
+        if let Some(at) = self.flows[flow]
+            .tcp_tx
+            .as_ref()
+            .and_then(|tx| tx.next_app_ready(now))
+        {
+            self.schedule_pump(flow, at);
+        }
+    }
+
+    fn pump_tcp_downlink(&mut self, flow: usize) {
+        let now = self.now;
+        let mut fx = Vec::new();
+        loop {
+            let pkt = match self.flows[flow].tcp_tx.as_mut() {
+                Some(tx) => tx.poll_packet(now, &mut fx),
+                None => None,
+            };
+            match pkt {
+                Some(p) => {
+                    self.queue
+                        .schedule(now + self.cfg.wired_delay, Event::WiredToAp(p));
+                }
+                None => break,
+            }
+        }
+        self.apply_sender_effects(flow, fx);
+        if let Some(at) = self.flows[flow]
+            .tcp_tx
+            .as_ref()
+            .and_then(|tx| tx.next_app_ready(now))
+        {
+            self.schedule_pump(flow, at);
+        }
+    }
+
+    fn pump_udp_uplink(&mut self, flow: usize) {
+        let node = self.flows[flow].station + 1;
+        let now = self.now;
+        while self.client_q[node].len() < self.cfg.client_queue_cap {
+            let pkt = match self.flows[flow].udp.as_mut() {
+                Some(u) => u.poll_packet(now),
+                None => None,
+            };
+            match pkt {
+                Some(p) => self.client_q[node].push_back((p, now)),
+                None => break,
+            }
+        }
+        if let Some(at) = self.flows[flow]
+            .udp
+            .as_ref()
+            .and_then(|u| u.next_ready(now))
+        {
+            self.schedule_pump(flow, at);
+        }
+    }
+
+    fn pump_udp_downlink(&mut self, flow: usize) {
+        let key = self.reg_key(flow);
+        let now = self.now;
+        // Back-pressure: keep the AP queue for this client primed but
+        // never blind-feed a full buffer (a saturating source would
+        // otherwise generate unbounded work).
+        while self.sched.queue_len(key) < 40 {
+            let pkt = match self.flows[flow].udp.as_mut() {
+                Some(u) => u.poll_packet(now),
+                None => None,
+            };
+            match pkt {
+                Some(p) => {
+                    let handle = self.new_handle(p, now);
+                    let q = QueuedPacket {
+                        client: key,
+                        handle,
+                        bytes: p.bytes,
+                    };
+                    if self.sched.enqueue(q, now) == EnqueueOutcome::Dropped {
+                        // Queue full (its cap may be below our priming
+                        // level): stop generating until it drains.
+                        self.in_transit.remove(&handle);
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        if let Some(at) = self.flows[flow]
+            .udp
+            .as_ref()
+            .and_then(|u| u.next_ready(now))
+        {
+            self.schedule_pump(flow, at);
+        }
+    }
+
+    fn kick_all(&mut self) {
+        // AP: MACTXEVENT — feed one frame whenever the AP MAC is idle.
+        if self.mac.can_accept(AP) {
+            if let Some(q) = self.sched.dequeue(self.now) {
+                let station = self.station_of_key(q.client);
+                let node = station + 1;
+                let frame = Frame {
+                    src: AP,
+                    dst: NodeId(node),
+                    msdu_bytes: q.bytes,
+                    rate: self.rate_of(node),
+                    handle: q.handle,
+                };
+                let fx = self
+                    .mac
+                    .offer_frame(self.now, frame)
+                    .expect("AP MAC was idle");
+                self.apply_mac_effects(fx);
+            }
+        }
+        // Clients: head of interface queue.
+        for node in 1..self.client_q.len() {
+            if self.mac.can_accept(NodeId(node)) {
+                if let Some((pkt, born)) = self.client_q[node].pop_front() {
+                    let handle = self.new_handle(pkt, born);
+                    let frame = Frame {
+                        src: NodeId(node),
+                        dst: AP,
+                        msdu_bytes: pkt.bytes,
+                        rate: self.rate_of(node),
+                        handle,
+                    };
+                    let fx = self
+                        .mac
+                        .offer_frame(self.now, frame)
+                        .expect("client MAC was idle");
+                    self.apply_mac_effects(fx);
+                }
+            }
+        }
+    }
+
+    // -- results ---------------------------------------------------------
+
+    fn report(mut self) -> Report {
+        let end = self.now;
+        let mut flow_reports = Vec::new();
+        for (i, f) in self.flows.iter().enumerate() {
+            let (retransmits, timeouts) = match f.tcp_tx.as_ref() {
+                Some(tx) => {
+                    let (_, r, t) = tx.stats();
+                    (r, t)
+                }
+                None => (0, 0),
+            };
+            flow_reports.push(FlowReport {
+                flow: i,
+                station: f.station,
+                transport: f.transport,
+                direction: f.direction,
+                goodput_mbps: f.meter.mbps(end),
+                goodput_bytes: f.meter.bytes(),
+                completion: f.completion,
+                retransmits,
+                timeouts,
+                latency_p50_ms: f.latency.quantile(0.5),
+                latency_p95_ms: f.latency.quantile(0.95),
+            });
+        }
+        let n = self.cfg.stations.len();
+        let mut node_occ = Vec::with_capacity(n);
+        for st in 0..n {
+            let node = st + 1;
+            let occ = self
+                .mac
+                .occupancy(NodeId(node))
+                .saturating_sub(self.occupancy_at_warmup[node]);
+            node_occ.push(occ);
+        }
+        let total_occ: f64 = node_occ.iter().map(|d| d.as_secs_f64()).sum();
+        let nodes: Vec<NodeReport> = (0..n)
+            .map(|st| {
+                let goodput: f64 = flow_reports
+                    .iter()
+                    .filter(|f| f.station == st)
+                    .map(|f| f.goodput_mbps)
+                    .sum();
+                NodeReport {
+                    station: st,
+                    occupancy: node_occ[st],
+                    occupancy_share: if total_occ > 0.0 {
+                        node_occ[st].as_secs_f64() / total_occ
+                    } else {
+                        0.0
+                    },
+                    goodput_mbps: goodput,
+                }
+            })
+            .collect();
+        let total: f64 = flow_reports.iter().map(|f| f.goodput_mbps).sum();
+        let measured_span = end.saturating_since(SimTime::ZERO + self.cfg.warmup);
+        let busy = self.mac.busy_time().saturating_sub(self.busy_at_warmup);
+        let key_count = match self.cfg.regulate {
+            Regulate::PerStation => n,
+            Regulate::PerFlow => self.flows.len(),
+        };
+        let tbr_rates = self.sched.as_tbr().map(|t| {
+            (0..key_count)
+                .map(|k| t.rate_of(ClientId(k)).unwrap_or(0.0))
+                .collect()
+        });
+        Report {
+            flows: flow_reports,
+            nodes,
+            total_goodput_mbps: total,
+            mac: self.mac.stats(),
+            sched_drops: self.sched.drops(),
+            utilization: if measured_span.is_zero() {
+                0.0
+            } else {
+                busy.as_secs_f64() / measured_span.as_secs_f64()
+            },
+            end,
+            trace: self.trace.take(),
+            tbr_rates,
+        }
+    }
+}
+
+/// The client side of an AP↔station frame.
+fn client_node(frame: &Frame) -> usize {
+    if frame.src == AP {
+        frame.dst.index()
+    } else {
+        frame.src.index()
+    }
+}

@@ -1,0 +1,55 @@
+//! Trace analysis walkthrough: is the regime the paper worries about
+//! real? (Figures 1 and 5 on synthetic campus workloads.)
+//!
+//! ```text
+//! cargo run --release --example campus_trace
+//! ```
+
+use airtime::phy::DataRate;
+use airtime::sim::SimDuration;
+use airtime::trace::{
+    busy_intervals, bytes_by_rate, residence_trace, workshop_trace, ResidenceConfig, WorkshopConfig,
+};
+
+fn main() {
+    // 1. Rate diversity in a one-room workshop.
+    let trace = workshop_trace(&WorkshopConfig::ws2(), 42);
+    println!(
+        "workshop session: {} users, {} frames, {:.1} MB",
+        trace.user_count(),
+        trace.records.len(),
+        trace.total_bytes() as f64 / 1e6
+    );
+    for (rate, frac) in bytes_by_rate(&trace) {
+        if frac > 0.0 {
+            println!("  {rate:>5}: {:5.1}% of bytes", frac * 100.0);
+        }
+    }
+    let below_11: f64 = bytes_by_rate(&trace)
+        .iter()
+        .filter(|(r, _)| *r != DataRate::B11)
+        .map(|(_, f)| f)
+        .sum();
+    println!(
+        "  -> {:.0}% of bytes below 11M: rate diversity is real\n",
+        below_11 * 100.0
+    );
+
+    // 2. Congestion with company in a residence hall.
+    let trace = residence_trace(&ResidenceConfig::default(), 7);
+    let b = busy_intervals(&trace, SimDuration::from_secs(1), 4.0);
+    println!(
+        "residence AP: {} busy seconds out of {} observed",
+        b.busy, b.windows
+    );
+    println!(
+        "  heaviest user's mean share in busy seconds: {:.0}%",
+        b.mean_heaviest() * 100.0
+    );
+    println!(
+        "  busy seconds where one user was effectively alone: {:.0}%",
+        b.solo_fraction(0.99) * 100.0
+    );
+    println!("  -> congestion almost always involves multiple users, so the");
+    println!("     choice of fairness notion decides real aggregate throughput");
+}

@@ -1,0 +1,208 @@
+//! `airtime-cli` — run custom multi-rate WLAN experiments from the
+//! command line.
+//!
+//! ```text
+//! airtime-cli run --rates 11,1 --sched tbr --direction up --secs 20
+//! airtime-cli predict --rates 11,2,1
+//! airtime-cli --help
+//! ```
+//!
+//! (The per-paper tables and figures have dedicated binaries in
+//! `airtime-bench`; this tool is for ad-hoc configurations.)
+
+use airtime::model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
+use airtime::phy::DataRate;
+use airtime::sim::SimDuration;
+use airtime::wlan::{run, scenarios, Direction, SchedulerKind};
+
+const HELP: &str = "airtime-cli — multi-rate WLAN fairness experiments
+
+USAGE:
+    airtime-cli run [OPTIONS]      simulate a cell and print the report
+    airtime-cli predict [OPTIONS]  analytic RF/TF predictions (Eqs 6/12)
+
+OPTIONS (run):
+    --rates <list>      comma-separated Mbit/s per station from
+                        {1,2,5.5,11,6,9,12,18,24,36,48,54}   [default: 11,1]
+    --sched <name>      fifo | rr | drr | tbr | txop          [default: tbr]
+    --direction <dir>   up | down                             [default: up]
+    --secs <n>          simulated seconds                     [default: 20]
+    --seed <n>          RNG seed                              [default: 1]
+
+OPTIONS (predict):
+    --rates <list>      as above
+";
+
+fn parse_rate(tok: &str) -> Result<DataRate, String> {
+    Ok(match tok {
+        "1" => DataRate::B1,
+        "2" => DataRate::B2,
+        "5.5" => DataRate::B5_5,
+        "11" => DataRate::B11,
+        "6" => DataRate::G6,
+        "9" => DataRate::G9,
+        "12" => DataRate::G12,
+        "18" => DataRate::G18,
+        "24" => DataRate::G24,
+        "36" => DataRate::G36,
+        "48" => DataRate::G48,
+        "54" => DataRate::G54,
+        other => return Err(format!("unknown rate '{other}'")),
+    })
+}
+
+fn parse_rates(s: &str) -> Result<Vec<DataRate>, String> {
+    let rates: Result<Vec<_>, _> = s.split(',').map(|t| parse_rate(t.trim())).collect();
+    let rates = rates?;
+    if rates.is_empty() {
+        return Err("need at least one rate".into());
+    }
+    Ok(rates)
+}
+
+struct Args {
+    rates: Vec<DataRate>,
+    sched: SchedulerKind,
+    direction: Direction,
+    secs: u64,
+    seed: u64,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let cmd = argv.next().ok_or("missing command; try --help")?;
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        return Err(HELP.to_string());
+    }
+    let mut args = Args {
+        rates: vec![DataRate::B11, DataRate::B1],
+        sched: SchedulerKind::tbr(),
+        direction: Direction::Uplink,
+        secs: 20,
+        seed: 1,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--rates" => args.rates = parse_rates(&value()?)?,
+            "--sched" => {
+                args.sched = match value()?.as_str() {
+                    "fifo" => SchedulerKind::Fifo,
+                    "rr" => SchedulerKind::RoundRobin,
+                    "drr" => SchedulerKind::Drr,
+                    "tbr" => SchedulerKind::tbr(),
+                    "txop" => SchedulerKind::txop(),
+                    other => return Err(format!("unknown scheduler '{other}'")),
+                }
+            }
+            "--direction" => {
+                args.direction = match value()?.as_str() {
+                    "up" => Direction::Uplink,
+                    "down" => Direction::Downlink,
+                    other => return Err(format!("unknown direction '{other}'")),
+                }
+            }
+            "--secs" => args.secs = value()?.parse().map_err(|e| format!("bad --secs: {e}"))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            other => return Err(format!("unknown option '{other}'; try --help")),
+        }
+    }
+    Ok((cmd, args))
+}
+
+fn cmd_run(a: &Args) {
+    let mut cfg = scenarios::tcp_stations(&a.rates, a.direction, a.sched.clone());
+    cfg.duration = SimDuration::from_secs(a.secs);
+    cfg.warmup = SimDuration::from_secs((a.secs / 8).max(1));
+    cfg.seed = a.seed;
+    let r = run(&cfg);
+    println!(
+        "{} stations, {:?} TCP, {:?} s simulated\n",
+        a.rates.len(),
+        a.direction,
+        a.secs
+    );
+    println!("station  rate   goodput Mb/s  airtime  p50 lat ms");
+    for (i, f) in r.flows.iter().enumerate() {
+        println!(
+            "{:>7}  {:>4}  {:>12.3}  {:>6.1}%  {:>10}",
+            i + 1,
+            a.rates[f.station].to_string(),
+            f.goodput_mbps,
+            r.nodes[f.station].occupancy_share * 100.0,
+            f.latency_p50_ms
+                .map(|l| format!("{l:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "\ntotal {:.3} Mb/s   utilization {:.0}%   MAC collisions {}   drops {}",
+        r.total_goodput_mbps,
+        r.utilization * 100.0,
+        r.mac.collision_events,
+        r.sched_drops
+    );
+}
+
+fn cmd_predict(a: &Args) {
+    let specs: Vec<NodeSpec> = a
+        .rates
+        .iter()
+        .map(|r| {
+            let g = gamma_measured(*r).unwrap_or_else(|| {
+                airtime::model::gamma_tcp_model(
+                    &airtime::phy::Phy80211b::default(),
+                    *r,
+                    1500,
+                    1460,
+                    40,
+                    a.rates.len().max(2),
+                )
+            });
+            NodeSpec::with_gamma(g)
+        })
+        .collect();
+    let rf = rf_allocation(&specs);
+    let tf = tf_allocation(&specs);
+    println!("analytic predictions (Eq 6 vs Eq 12), TCP, 1500 B packets\n");
+    println!("station  rate   RF Mb/s  RF time   TF Mb/s  TF time");
+    for i in 0..specs.len() {
+        println!(
+            "{:>7}  {:>4}  {:>7.3}  {:>6.1}%  {:>8.3}  {:>6.1}%",
+            i + 1,
+            a.rates[i].to_string(),
+            rf.throughput[i],
+            rf.occupancy[i] * 100.0,
+            tf.throughput[i],
+            tf.occupancy[i] * 100.0,
+        );
+    }
+    println!(
+        "\ntotals: RF {:.3} Mb/s, TF {:.3} Mb/s ({:+.0}%)",
+        rf.total,
+        tf.total,
+        (tf.total / rf.total - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    let _ = argv.next(); // program name
+    match parse_args(argv) {
+        Ok((cmd, args)) => match cmd.as_str() {
+            "run" => cmd_run(&args),
+            "predict" => cmd_predict(&args),
+            other => {
+                eprintln!("unknown command '{other}'\n{HELP}");
+                std::process::exit(2);
+            }
+        },
+        Err(msg) => {
+            if msg == HELP {
+                println!("{HELP}");
+            } else {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

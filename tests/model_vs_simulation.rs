@@ -1,0 +1,170 @@
+//! Cross-crate consistency: the analytic framework (`airtime-model`)
+//! must predict what the full simulator (`airtime-wlan`) measures, for
+//! both fairness notions, across the paper's rate mixes.
+
+use airtime::model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
+use airtime::phy::DataRate;
+use airtime::sim::SimDuration;
+use airtime::wlan::{run, scenarios, NetworkConfig, SchedulerKind};
+
+fn measure(mut cfg: NetworkConfig) -> airtime::wlan::Report {
+    cfg.duration = SimDuration::from_secs(25);
+    cfg.warmup = SimDuration::from_secs(4);
+    run(&cfg)
+}
+
+fn specs(rates: &[DataRate]) -> Vec<NodeSpec> {
+    rates
+        .iter()
+        .map(|r| NodeSpec::with_gamma(gamma_measured(*r).unwrap()))
+        .collect()
+}
+
+#[test]
+fn eq6_predicts_stock_ap_for_all_pairs() {
+    // Every mixed pair under DCF: per-node throughput within 10% of
+    // Eq 6, total within 8%.
+    for pair in [
+        [DataRate::B11, DataRate::B5_5],
+        [DataRate::B11, DataRate::B2],
+        [DataRate::B11, DataRate::B1],
+        [DataRate::B5_5, DataRate::B2],
+        [DataRate::B5_5, DataRate::B1],
+        [DataRate::B2, DataRate::B1],
+    ] {
+        let predict = rf_allocation(&specs(&pair));
+        let r = measure(scenarios::uploaders(&pair, SchedulerKind::Fifo));
+        for i in 0..2 {
+            let rel =
+                (r.flows[i].goodput_mbps - predict.throughput[i]).abs() / predict.throughput[i];
+            assert!(
+                rel < 0.10,
+                "{}/{} node {i}: sim {} vs Eq6 {}",
+                pair[0],
+                pair[1],
+                r.flows[i].goodput_mbps,
+                predict.throughput[i]
+            );
+        }
+        let rel = (r.total_goodput_mbps - predict.total).abs() / predict.total;
+        assert!(rel < 0.08, "{}/{} total rel err {rel}", pair[0], pair[1]);
+    }
+}
+
+#[test]
+fn eq12_predicts_tbr_downlink_for_all_pairs() {
+    for pair in [
+        [DataRate::B11, DataRate::B5_5],
+        [DataRate::B11, DataRate::B2],
+        [DataRate::B11, DataRate::B1],
+    ] {
+        let predict = tf_allocation(&specs(&pair));
+        let r = measure(scenarios::downloaders(&pair, SchedulerKind::tbr()));
+        let rel = (r.total_goodput_mbps - predict.total).abs() / predict.total;
+        assert!(
+            rel < 0.12,
+            "{}/{}: sim total {} vs Eq13 {}",
+            pair[0],
+            pair[1],
+            r.total_goodput_mbps,
+            predict.total
+        );
+        // The slow node must sit near γ_slow / 2 (the baseline property).
+        let rel_slow =
+            (r.flows[1].goodput_mbps - predict.throughput[1]).abs() / predict.throughput[1];
+        assert!(
+            rel_slow < 0.15,
+            "{}/{} slow node rel {rel_slow}",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn baseline_property_end_to_end() {
+    // The paper's central guarantee, measured rather than assumed: a
+    // 1 Mbit/s node competing under TBR against an 11 Mbit/s node gets
+    // (within tolerance) the throughput it gets in an all-1M cell.
+    let mixed = measure(scenarios::downloaders(
+        &[DataRate::B11, DataRate::B1],
+        SchedulerKind::tbr(),
+    ));
+    let single_rate = measure(scenarios::downloaders(
+        &[DataRate::B1, DataRate::B1],
+        SchedulerKind::tbr(),
+    ));
+    let in_mixed = mixed.flows[1].goodput_mbps;
+    let in_own_kind = single_rate.flows[1].goodput_mbps;
+    let rel = (in_mixed - in_own_kind).abs() / in_own_kind;
+    assert!(
+        rel < 0.12,
+        "baseline property violated: {in_mixed} vs {in_own_kind}"
+    );
+}
+
+#[test]
+fn dcf_never_beats_tf_prediction_and_tracks_rf() {
+    // Sanity ordering across a 3-node mix: RF total ≤ measured-TBR
+    // total ≤ TF analytic total (TBR cannot exceed the fluid bound).
+    let rates = [DataRate::B11, DataRate::B5_5, DataRate::B1];
+    let rf_total = measure(scenarios::uploaders(&rates, SchedulerKind::Fifo)).total_goodput_mbps;
+    let tbr_total =
+        measure(scenarios::downloaders(&rates, SchedulerKind::tbr())).total_goodput_mbps;
+    let tf_bound = tf_allocation(&specs(&rates)).total;
+    assert!(rf_total < tbr_total, "rf {rf_total} tbr {tbr_total}");
+    assert!(
+        tbr_total <= tf_bound * 1.05,
+        "tbr {tbr_total} exceeds fluid bound {tf_bound}"
+    );
+}
+
+#[test]
+fn bianchi_collision_rate_matches_simulator() {
+    // The MAC's measured collision probability for saturated UDP
+    // uploaders should track Bianchi's fixed point.
+    use airtime::wlan::{Direction, Transport};
+    for n in [2usize, 4, 8] {
+        let cfg = scenarios::updown_baseline(
+            n,
+            Transport::Udp,
+            Direction::Uplink,
+            SchedulerKind::RoundRobin,
+        );
+        let r = measure(cfg);
+        // A collision event wastes all frames involved; approximate the
+        // per-attempt collision probability from MAC stats.
+        let p_sim = r.mac.collision_events as f64 * 2.0 / r.mac.attempts as f64;
+        let model = airtime::model::BianchiModel::solve(&airtime::phy::Phy80211b::default(), n);
+        let p_model = model.p_collision;
+        assert!(
+            (p_sim - p_model).abs() < 0.035,
+            "n={n}: sim {p_sim:.4} vs Bianchi {p_model:.4}"
+        );
+    }
+}
+
+#[test]
+fn task_model_sim_tracks_fluid_schedule() {
+    use airtime::model::{task_schedule, FairnessPolicy};
+    let task = 3_000_000.0;
+    let nodes = specs(&[DataRate::B11, DataRate::B1]);
+    for (policy, sched) in [
+        (FairnessPolicy::ThroughputFair, SchedulerKind::RoundRobin),
+        (FairnessPolicy::TimeFair, SchedulerKind::tbr()),
+    ] {
+        let fluid = task_schedule(&nodes, &[task, task], policy);
+        let simr = run(&scenarios::task_model(
+            &[DataRate::B11, DataRate::B1],
+            task as u64,
+            sched,
+        ));
+        let sim_avg = simr.avg_task_time().unwrap().as_secs_f64();
+        let rel = (sim_avg - fluid.avg_task_time).abs() / fluid.avg_task_time;
+        assert!(
+            rel < 0.15,
+            "{policy:?}: sim avg {sim_avg} vs fluid {}",
+            fluid.avg_task_time
+        );
+    }
+}

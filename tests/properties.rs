@@ -1,0 +1,296 @@
+//! Property-based tests (proptest) over the workspace's core
+//! invariants: allocation identities from the analytic model, TBR
+//! conservation laws, airtime arithmetic, max-min structure, and
+//! end-to-end TCP delivery under arbitrary loss patterns.
+
+use proptest::prelude::*;
+
+use airtime::core::{
+    max_min_allocation, ApScheduler, ClientId, QueuedPacket, TbrConfig, TbrScheduler,
+};
+use airtime::model::{rf_allocation, tf_allocation, NodeSpec};
+use airtime::phy::{DataRate, Phy80211b};
+use airtime::sim::stats::jain_index;
+use airtime::sim::{SimDuration, SimTime};
+
+fn gamma_strategy() -> impl Strategy<Value = f64> {
+    // Realistic baseline-throughput range in Mbit/s.
+    0.2f64..30.0
+}
+
+fn nodes_strategy(max_n: usize) -> impl Strategy<Value = Vec<NodeSpec>> {
+    prop::collection::vec((gamma_strategy(), 40.0f64..1500.0), 1..=max_n).prop_map(|v| {
+        v.into_iter()
+            .map(|(gamma, packet_bytes)| NodeSpec {
+                gamma,
+                packet_bytes,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Eq 1: occupancies sum to one under both notions, for any mix of
+    /// γ and packet sizes.
+    #[test]
+    fn occupancies_sum_to_one(nodes in nodes_strategy(8)) {
+        for alloc in [rf_allocation(&nodes), tf_allocation(&nodes)] {
+            let sum: f64 = alloc.occupancy.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(alloc.occupancy.iter().all(|&t| (0.0..=1.0 + 1e-12).contains(&t)));
+        }
+    }
+
+    /// Equal-packet-size RF gives every node identical throughput
+    /// (Eq 6) no matter the rates.
+    #[test]
+    fn rf_equalises_throughput(gammas in prop::collection::vec(gamma_strategy(), 2..8)) {
+        let nodes: Vec<NodeSpec> = gammas.iter().map(|&g| NodeSpec::with_gamma(g)).collect();
+        let alloc = rf_allocation(&nodes);
+        let first = alloc.throughput[0];
+        for &r in &alloc.throughput {
+            prop_assert!((r - first).abs() / first < 1e-9);
+        }
+        prop_assert!((jain_index(&alloc.throughput) - 1.0).abs() < 1e-9);
+    }
+
+    /// TF aggregate is never below RF aggregate for equal packet
+    /// sizes, and they coincide exactly when all rates are equal
+    /// (§2.6: "R'(I) and R(I) will be equal if and only if ...").
+    #[test]
+    fn tf_dominates_rf(gammas in prop::collection::vec(gamma_strategy(), 1..8)) {
+        let nodes: Vec<NodeSpec> = gammas.iter().map(|&g| NodeSpec::with_gamma(g)).collect();
+        let rf = rf_allocation(&nodes);
+        let tf = tf_allocation(&nodes);
+        prop_assert!(tf.total >= rf.total - 1e-9, "tf {} rf {}", tf.total, rf.total);
+        let all_same = gammas.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12);
+        if all_same {
+            prop_assert!((tf.total - rf.total).abs() < 1e-9);
+        }
+    }
+
+    /// The baseline property as an algebraic identity: node i's TF
+    /// throughput depends only on its own γ and n.
+    #[test]
+    fn baseline_property_algebraic(
+        own in gamma_strategy(),
+        (others_a, others_b) in (1usize..6).prop_flat_map(|n| (
+            prop::collection::vec(gamma_strategy(), n),
+            prop::collection::vec(gamma_strategy(), n),
+        )),
+    ) {
+        let mk = |others: &[f64]| {
+            let mut v = vec![NodeSpec::with_gamma(own)];
+            v.extend(others.iter().map(|&g| NodeSpec::with_gamma(g)));
+            tf_allocation(&v).throughput[0]
+        };
+        let a = mk(&others_a);
+        let b = mk(&others_b);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    /// Max-min allocation: never exceeds demand or capacity; exhausts
+    /// capacity whenever total demand allows; unsatisfied entities all
+    /// sit at the same maximal level.
+    #[test]
+    fn max_min_structure(
+        capacity in 0.1f64..100.0,
+        demands in prop::collection::vec(0.0f64..50.0, 1..10),
+    ) {
+        let alloc = max_min_allocation(capacity, &demands);
+        let total: f64 = alloc.iter().sum();
+        let demand_total: f64 = demands.iter().sum();
+        prop_assert!(total <= capacity + 1e-9);
+        for (a, d) in alloc.iter().zip(&demands) {
+            prop_assert!(*a <= d + 1e-9);
+        }
+        if demand_total >= capacity {
+            prop_assert!((total - capacity).abs() < 1e-6, "capacity unexhausted: {total} < {capacity}");
+        } else {
+            prop_assert!((total - demand_total).abs() < 1e-6);
+        }
+        let unsat: Vec<f64> = alloc
+            .iter()
+            .zip(&demands)
+            .filter(|(a, d)| **a < **d - 1e-6)
+            .map(|(a, _)| *a)
+            .collect();
+        for w in unsat.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-6);
+        }
+    }
+
+    /// Airtime arithmetic: for any payload and 802.11b rate, the frame
+    /// airtime is monotone in size, antitone in rate, and at least the
+    /// PLCP duration.
+    #[test]
+    fn airtime_is_sane(bytes in 1u64..2304) {
+        let phy = Phy80211b::default();
+        let mut prev = SimDuration::from_secs(1_000);
+        for rate in DataRate::ALL_B {
+            let t = phy.data_tx_time_default(bytes, rate);
+            prop_assert!(t.as_micros() >= 192, "below PLCP at {rate}");
+            prop_assert!(t < prev, "airtime not antitone at {rate}");
+            prev = t;
+            let bigger = phy.data_tx_time_default(bytes + 1, rate);
+            prop_assert!(bigger >= t);
+        }
+    }
+
+    /// TBR conservation: rates stay a probability distribution and
+    /// tokens never exceed the bucket, under arbitrary interleavings of
+    /// completions and ticks.
+    #[test]
+    fn tbr_conservation(
+        n in 2usize..6,
+        ops in prop::collection::vec((0usize..6, 0u64..20_000), 1..200),
+    ) {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        for c in 0..n {
+            tbr.on_associate(ClientId(c), SimTime::ZERO);
+        }
+        let mut now = SimTime::ZERO;
+        let bucket_ns = TbrConfig::default().bucket.as_nanos() as f64;
+        for (sel, us) in ops {
+            now += SimDuration::from_micros(us);
+            match sel % 3 {
+                0 => {
+                    tbr.enqueue(
+                        QueuedPacket { client: ClientId(sel % n), handle: 0, bytes: 1500 },
+                        now,
+                    );
+                    let _ = tbr.dequeue(now);
+                }
+                1 => tbr.on_complete(ClientId(sel % n), SimDuration::from_micros(us), sel % 2 == 0, now),
+                _ => tbr.on_tick(now),
+            }
+            let rate_sum: f64 = (0..n).filter_map(|c| tbr.rate_of(ClientId(c))).sum();
+            prop_assert!((rate_sum - 1.0).abs() < 1e-6, "rates sum to {rate_sum}");
+            for c in 0..n {
+                let t = tbr.tokens_of(ClientId(c)).unwrap();
+                prop_assert!(t <= bucket_ns + 1.0, "tokens above bucket: {t}");
+            }
+        }
+    }
+
+    /// Contention-window growth is monotone and clamped for any retry
+    /// count.
+    #[test]
+    fn cw_growth(retries in 0u32..64) {
+        let phy = Phy80211b::default();
+        let cw = phy.cw_after(retries);
+        prop_assert!(cw >= phy.cw_min);
+        prop_assert!(cw <= phy.cw_max);
+        prop_assert!(phy.cw_after(retries + 1) >= cw);
+    }
+}
+
+mod tcp_delivery {
+    use super::*;
+    use airtime::net::{
+        FlowId, PacketKind, ReceiverEffect, SenderEffect, TcpConfig, TcpReceiver, TcpSender,
+    };
+    use airtime::sim::EventQueue;
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Data(u64),
+        Ack(u64),
+        Rto(u64),
+        DelAck(u64),
+    }
+
+    /// Delivers `segments` across a lossy link where each transmission
+    /// is dropped per the `drops` script (cycled); returns whether the
+    /// task completed and in-order goodput.
+    fn transfer(segments: u64, drops: &[bool]) -> (bool, u64) {
+        let cfg = TcpConfig::default();
+        let mss = cfg.mss;
+        let mut tx = TcpSender::new(FlowId(0), cfg.clone(), Some(segments * mss), None);
+        let mut rx = TcpReceiver::new(FlowId(0), cfg);
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let delay = SimDuration::from_millis(4);
+        let mut now = SimTime::ZERO;
+        let mut done = false;
+        let mut sent = 0usize;
+        let mut sfx = Vec::new();
+        macro_rules! pump {
+            () => {
+                while let Some(p) = tx.poll_packet(now, &mut sfx) {
+                    if let PacketKind::TcpData { seq } = p.kind {
+                        let dropped = !drops.is_empty() && drops[sent % drops.len()];
+                        sent += 1;
+                        if !dropped {
+                            q.schedule(now + delay, Ev::Data(seq));
+                        }
+                    }
+                }
+                for e in sfx.drain(..) {
+                    match e {
+                        SenderEffect::ArmRto { at, generation } => {
+                            q.schedule(at, Ev::Rto(generation))
+                        }
+                        SenderEffect::Complete => done = true,
+                    }
+                }
+            };
+        }
+        pump!();
+        let mut guard = 0u32;
+        while let Some((t, ev)) = q.pop() {
+            guard += 1;
+            if done || guard > 200_000 || t > SimTime::from_secs(3600) {
+                break;
+            }
+            now = t;
+            match ev {
+                Ev::Data(seq) => {
+                    for e in rx.on_data(now, seq) {
+                        match e {
+                            ReceiverEffect::SendAck { ack_seq } => {
+                                q.schedule(now + delay, Ev::Ack(ack_seq));
+                            }
+                            ReceiverEffect::ArmDelAck { at, generation } => {
+                                q.schedule(at, Ev::DelAck(generation));
+                            }
+                        }
+                    }
+                }
+                Ev::Ack(ack) => {
+                    tx.on_ack(now, ack, &mut sfx);
+                    pump!();
+                }
+                Ev::Rto(generation) => {
+                    tx.on_rto_fired(now, generation, &mut sfx);
+                    pump!();
+                }
+                Ev::DelAck(generation) => {
+                    for e in rx.on_delack_fired(generation) {
+                        if let ReceiverEffect::SendAck { ack_seq } = e {
+                            q.schedule(now + delay, Ev::Ack(ack_seq));
+                        }
+                    }
+                }
+            }
+        }
+        (done, rx.contiguous_segments())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// TCP completes any small task under any (non-total) periodic
+        /// loss pattern, and the receiver ends with exactly the task's
+        /// segments in order.
+        #[test]
+        fn tcp_survives_arbitrary_loss_patterns(
+            segments in 5u64..120,
+            drops in prop::collection::vec(any::<bool>(), 1..24),
+        ) {
+            prop_assume!(drops.iter().any(|d| !d)); // not a black hole
+            let (done, delivered) = transfer(segments, &drops);
+            prop_assert!(done, "task never completed");
+            prop_assert_eq!(delivered, segments);
+        }
+    }
+}
