@@ -2,17 +2,17 @@
 //! code that would run inside a real AP driver at line rate), the DCF
 //! world's event processing, and the event queue itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use airtime_bench::harness::Group;
 use airtime_core::{ApScheduler, ClientId, QueuedPacket, TbrConfig, TbrScheduler};
 use airtime_mac::{DcfConfig, DcfWorld, Frame, MacEffect, NodeId};
 use airtime_phy::{DataRate, LinkErrorModel, Phy80211b};
 use airtime_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
-fn bench_tbr_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tbr");
-    g.bench_function("enqueue_dequeue_complete_cycle", |b| {
+fn bench_tbr_ops() {
+    let mut g = Group::new("tbr");
+    {
         let mut tbr = TbrScheduler::new(TbrConfig::default());
         let now = SimTime::from_secs(1);
         for i in 0..8 {
@@ -20,7 +20,7 @@ fn bench_tbr_ops(c: &mut Criterion) {
         }
         let airtime = SimDuration::from_micros(1617);
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench("enqueue_dequeue_complete_cycle", || {
             let client = ClientId((i % 8) as usize);
             tbr.enqueue(
                 QueuedPacket {
@@ -36,96 +36,95 @@ fn bench_tbr_ops(c: &mut Criterion) {
             i += 1;
             black_box(&tbr);
         });
-    });
-    g.bench_function("fill_tick_32_clients", |b| {
+    }
+    {
         let mut tbr = TbrScheduler::new(TbrConfig::default());
         for i in 0..32 {
             tbr.on_associate(ClientId(i), SimTime::ZERO);
         }
         let mut t = SimTime::ZERO;
-        b.iter(|| {
+        g.bench("fill_tick_32_clients", || {
             t += SimDuration::from_millis(2);
             tbr.on_tick(t);
             black_box(&tbr);
         });
-    });
+    }
     g.finish();
 }
 
-fn bench_dcf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dcf");
-    g.bench_function("saturated_two_station_second", |b| {
-        b.iter(|| {
-            let mut world = DcfWorld::new(
-                DcfConfig {
-                    phy: Phy80211b::default(),
-                    ap: NodeId(0),
-                    retry_rate_fallback: false,
-                    rts_threshold: None,
-                },
-                vec![LinkErrorModel::Perfect; 3],
-                SimRng::new(7),
-            );
-            let mut queue = EventQueue::new();
-            let mut handle = 0u64;
-            let mut offer = |world: &mut DcfWorld, queue: &mut EventQueue<_>, now, src| {
-                let frame = Frame {
-                    src,
-                    dst: NodeId(0),
-                    msdu_bytes: 1500,
-                    rate: DataRate::B11,
-                    handle,
-                };
-                handle += 1;
-                if let Ok(fx) = world.offer_frame(now, frame) {
-                    for e in fx {
-                        if let MacEffect::Schedule { at, event } = e {
-                            queue.schedule(at, event);
-                        }
-                    }
-                }
+fn bench_dcf() {
+    let mut g = Group::new("dcf");
+    g.bench("saturated_two_station_second", || {
+        let mut world = DcfWorld::new(
+            DcfConfig {
+                phy: Phy80211b::default(),
+                ap: NodeId(0),
+                retry_rate_fallback: false,
+                rts_threshold: None,
+            },
+            vec![LinkErrorModel::Perfect; 3],
+            SimRng::new(7),
+        );
+        let mut queue = EventQueue::new();
+        let mut handle = 0u64;
+        let mut offer = |world: &mut DcfWorld, queue: &mut EventQueue<_>, now, src| {
+            let frame = Frame {
+                src,
+                dst: NodeId(0),
+                msdu_bytes: 1500,
+                rate: DataRate::B11,
+                handle,
             };
-            offer(&mut world, &mut queue, SimTime::ZERO, NodeId(1));
-            offer(&mut world, &mut queue, SimTime::ZERO, NodeId(2));
-            let end = SimTime::from_secs(1);
-            while let Some((t, ev)) = queue.pop() {
-                if t > end {
-                    break;
-                }
-                for e in world.handle(t, ev) {
+            handle += 1;
+            if let Ok(fx) = world.offer_frame(now, frame) {
+                for e in fx {
                     if let MacEffect::Schedule { at, event } = e {
                         queue.schedule(at, event);
                     }
                 }
-                for n in [NodeId(1), NodeId(2)] {
-                    if world.can_accept(n) {
-                        offer(&mut world, &mut queue, t, n);
-                    }
+            }
+        };
+        offer(&mut world, &mut queue, SimTime::ZERO, NodeId(1));
+        offer(&mut world, &mut queue, SimTime::ZERO, NodeId(2));
+        let end = SimTime::from_secs(1);
+        while let Some((t, ev)) = queue.pop() {
+            if t > end {
+                break;
+            }
+            for e in world.handle(t, ev) {
+                if let MacEffect::Schedule { at, event } = e {
+                    queue.schedule(at, event);
                 }
             }
-            black_box(world.stats())
-        });
+            for n in [NodeId(1), NodeId(2)] {
+                if world.can_accept(n) {
+                    offer(&mut world, &mut queue, t, n);
+                }
+            }
+        }
+        black_box(world.stats());
     });
     g.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.bench_function("schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::from_micros((i * 7919) % 10_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        });
+fn bench_event_queue() {
+    let mut g = Group::new("event_queue");
+    g.bench("schedule_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_micros((i * 7919) % 10_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc);
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_tbr_ops, bench_dcf, bench_event_queue);
-criterion_main!(benches);
+fn main() {
+    bench_tbr_ops();
+    bench_dcf();
+    bench_event_queue();
+}

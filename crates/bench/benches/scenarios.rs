@@ -1,9 +1,9 @@
-//! Criterion timing of the paper's scenarios: how long each experiment
+//! Wall-clock timing of the paper's scenarios: how long each experiment
 //! takes to *simulate* (one group per reproduced table/figure).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use airtime_bench::harness::Group;
 use airtime_phy::DataRate;
 use airtime_sim::SimDuration;
 use airtime_wlan::{run, scenarios, Direction, NetworkConfig, SchedulerKind, Transport};
@@ -14,102 +14,100 @@ fn quick(mut cfg: NetworkConfig) -> NetworkConfig {
     cfg
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig2_dcf_anomaly_1v11", |b| {
-        let cfg = quick(scenarios::uploaders(
-            &[DataRate::B11, DataRate::B1],
-            SchedulerKind::Fifo,
-        ));
-        b.iter(|| black_box(run(&cfg)));
+fn bench_figures() {
+    let mut g = Group::new("figures");
+    let cfg = quick(scenarios::uploaders(
+        &[DataRate::B11, DataRate::B1],
+        SchedulerKind::Fifo,
+    ));
+    g.bench("fig2_dcf_anomaly_1v11", || {
+        black_box(run(&cfg));
     });
-    g.bench_function("fig3_tbr_1v11", |b| {
-        let cfg = quick(scenarios::uploaders(
-            &[DataRate::B11, DataRate::B1],
-            SchedulerKind::tbr(),
-        ));
-        b.iter(|| black_box(run(&cfg)));
+    let cfg = quick(scenarios::uploaders(
+        &[DataRate::B11, DataRate::B1],
+        SchedulerKind::tbr(),
+    ));
+    g.bench("fig3_tbr_1v11", || {
+        black_box(run(&cfg));
     });
-    g.bench_function("fig4_three_udp_up", |b| {
-        let cfg = quick(scenarios::updown_baseline(
-            3,
-            Transport::Udp,
-            Direction::Uplink,
-            SchedulerKind::RoundRobin,
-        ));
-        b.iter(|| black_box(run(&cfg)));
+    let cfg = quick(scenarios::updown_baseline(
+        3,
+        Transport::Udp,
+        Direction::Uplink,
+        SchedulerKind::RoundRobin,
+    ));
+    g.bench("fig4_three_udp_up", || {
+        black_box(run(&cfg));
     });
-    g.bench_function("fig9_tbr_downlink_1v11", |b| {
-        let cfg = quick(scenarios::downloaders(
-            &[DataRate::B11, DataRate::B1],
-            SchedulerKind::tbr(),
-        ));
-        b.iter(|| black_box(run(&cfg)));
+    let cfg = quick(scenarios::downloaders(
+        &[DataRate::B11, DataRate::B1],
+        SchedulerKind::tbr(),
+    ));
+    g.bench("fig9_tbr_downlink_1v11", || {
+        black_box(run(&cfg));
     });
-    g.bench_function("fig1_exp1_office", |b| {
-        let cfg = quick(scenarios::exp1_office(SchedulerKind::RoundRobin));
-        b.iter(|| black_box(run(&cfg)));
-    });
-    g.finish();
-}
-
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table2_gamma_11m", |b| {
-        let cfg = quick(scenarios::uploaders(
-            &[DataRate::B11, DataRate::B11],
-            SchedulerKind::Fifo,
-        ));
-        b.iter(|| black_box(run(&cfg)));
-    });
-    g.bench_function("table3_four_node_tbr", |b| {
-        let cfg = quick(scenarios::four_node_mix(SchedulerKind::tbr()));
-        b.iter(|| black_box(run(&cfg)));
-    });
-    g.bench_function("table4_maxmin_tbr", |b| {
-        let cfg = quick(scenarios::bottleneck_table4(SchedulerKind::tbr()));
-        b.iter(|| black_box(run(&cfg)));
-    });
-    g.bench_function("table1_task_model_tbr", |b| {
-        let mut cfg = scenarios::task_model(
-            &[DataRate::B11, DataRate::B1],
-            500_000,
-            SchedulerKind::tbr(),
-        );
-        cfg.duration = SimDuration::from_secs(60);
-        b.iter(|| black_box(run(&cfg)));
+    let cfg = quick(scenarios::exp1_office(SchedulerKind::RoundRobin));
+    g.bench("fig1_exp1_office", || {
+        black_box(run(&cfg));
     });
     g.finish();
 }
 
-fn bench_traces(c: &mut Criterion) {
-    let mut g = c.benchmark_group("traces");
-    g.sample_size(10);
-    g.bench_function("fig1_workshop_generation", |b| {
-        let cfg = airtime_trace::WorkshopConfig {
-            duration: SimDuration::from_secs(600),
-            ..airtime_trace::WorkshopConfig::ws2()
-        };
-        b.iter(|| black_box(airtime_trace::workshop_trace(&cfg, 7)));
+fn bench_tables() {
+    let mut g = Group::new("tables");
+    let cfg = quick(scenarios::uploaders(
+        &[DataRate::B11, DataRate::B11],
+        SchedulerKind::Fifo,
+    ));
+    g.bench("table2_gamma_11m", || {
+        black_box(run(&cfg));
     });
-    g.bench_function("fig5_residence_analysis", |b| {
-        let cfg = airtime_trace::ResidenceConfig {
-            duration: SimDuration::from_secs(1800),
-            ..Default::default()
-        };
-        let trace = airtime_trace::residence_trace(&cfg, 7);
-        b.iter(|| {
-            black_box(airtime_trace::busy_intervals(
-                &trace,
-                SimDuration::from_secs(1),
-                4.0,
-            ))
-        });
+    let cfg = quick(scenarios::four_node_mix(SchedulerKind::tbr()));
+    g.bench("table3_four_node_tbr", || {
+        black_box(run(&cfg));
+    });
+    let cfg = quick(scenarios::bottleneck_table4(SchedulerKind::tbr()));
+    g.bench("table4_maxmin_tbr", || {
+        black_box(run(&cfg));
+    });
+    let mut cfg = scenarios::task_model(
+        &[DataRate::B11, DataRate::B1],
+        500_000,
+        SchedulerKind::tbr(),
+    );
+    cfg.duration = SimDuration::from_secs(60);
+    g.bench("table1_task_model_tbr", || {
+        black_box(run(&cfg));
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_tables, bench_traces);
-criterion_main!(benches);
+fn bench_traces() {
+    let mut g = Group::new("traces");
+    let cfg = airtime_trace::WorkshopConfig {
+        duration: SimDuration::from_secs(600),
+        ..airtime_trace::WorkshopConfig::ws2()
+    };
+    g.bench("fig1_workshop_generation", || {
+        black_box(airtime_trace::workshop_trace(&cfg, 7));
+    });
+    let cfg = airtime_trace::ResidenceConfig {
+        duration: SimDuration::from_secs(1800),
+        ..Default::default()
+    };
+    let trace = airtime_trace::residence_trace(&cfg, 7);
+    g.bench("fig5_residence_analysis", || {
+        black_box(airtime_trace::busy_intervals(
+            &trace,
+            SimDuration::from_secs(1),
+            4.0,
+        ));
+    });
+    g.finish();
+}
+
+fn main() {
+    bench_figures();
+    bench_tables();
+    bench_traces();
+}

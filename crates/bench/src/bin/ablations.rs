@@ -3,24 +3,25 @@
 //! scheduler family comparison. Run with
 //! `cargo run -p airtime-bench --bin ablations --release`.
 
-use airtime_bench::{mbps, measure_quick, pct, print_table};
+use airtime_bench::{mbps, measure_quick, pct, Output};
 use airtime_core::TbrConfig;
 use airtime_phy::DataRate;
 use airtime_sim::SimDuration;
 use airtime_wlan::{scenarios, SchedulerKind};
 
 fn main() {
-    bucket_depth();
-    fill_period();
-    adjust_period();
-    retry_info();
-    scheduler_family();
+    let mut out = Output::from_args("Ablations over TBR's design parameters");
+    bucket_depth(&mut out);
+    fill_period(&mut out);
+    adjust_period(&mut out);
+    retry_info(&mut out);
+    scheduler_family(&mut out);
+    out.finish();
 }
 
 /// 1vs11 downlink: bucket depth trades short-term burstiness against
 /// long-term fairness precision (paper §4.5).
-fn bucket_depth() {
-    println!("Ablation: TBR bucket depth (1vs11 downlink)\n");
+fn bucket_depth(out: &mut Output) {
     let mut rows = Vec::new();
     for ms in [2, 5, 10, 20, 50, 100, 250] {
         let bucket = SimDuration::from_millis(ms);
@@ -40,17 +41,16 @@ fn bucket_depth() {
             pct(r.utilization),
         ]);
     }
-    print_table(
+    out.table(
+        "Ablation: TBR bucket depth (1vs11 downlink)",
         &["bucket", "total Mb/s", "T(11M node)", "utilization"],
         &rows,
     );
-    println!();
 }
 
 /// Fill-event granularity: finer ticks cost events, coarser ticks delay
 /// unblocking.
-fn fill_period() {
-    println!("Ablation: FILLEVENT period (1vs11 downlink)\n");
+fn fill_period(out: &mut Output) {
     let mut rows = Vec::new();
     for us in [500, 1_000, 2_000, 5_000, 10_000, 50_000] {
         let tc = TbrConfig {
@@ -68,16 +68,15 @@ fn fill_period() {
             pct(r.utilization),
         ]);
     }
-    print_table(
+    out.table(
+        "Ablation: FILLEVENT period (1vs11 downlink)",
         &["fill period", "total Mb/s", "T(11M node)", "utilization"],
         &rows,
     );
-    println!();
 }
 
 /// ADJUSTRATEEVENT period: responsiveness of the Table 4 reallocation.
-fn adjust_period() {
-    println!("Ablation: ADJUSTRATEEVENT period (Table 4 scenario)\n");
+fn adjust_period(out: &mut Output) {
     let mut rows = Vec::new();
     for ms in [250, 500, 1_000, 2_000, 5_000, 1_000_000] {
         let tc = TbrConfig {
@@ -96,22 +95,22 @@ fn adjust_period() {
             mbps(r.total_goodput_mbps),
         ]);
     }
-    print_table(
+    out.table(
+        "Ablation: ADJUSTRATEEVENT period (Table 4 scenario)",
         &["adjust period", "n1 (greedy)", "n2 (2.1M cap)", "total"],
         &rows,
     );
-    println!("(in this scenario n2's unused share is small enough that token");
-    println!("binding alone keeps n1 within ~2% of the stock AP, so the sweep is");
-    println!("flat; the adjuster matters when a client is grossly idle — see the");
-    println!("trickle-demand unit tests and the utilization column of the bucket");
-    println!("sweep)");
+    out.note("(in this scenario n2's unused share is small enough that token");
+    out.note("binding alone keeps n1 within ~2% of the stock AP, so the sweep is");
+    out.note("flat; the adjuster matters when a client is grossly idle — see the");
+    out.note("trickle-demand unit tests and the utilization column of the bucket");
+    out.note("sweep)");
     println!();
 }
 
 /// The paper's §4.2/§4.4 point: without uplink retry counts TBR slightly
 /// under-charges lossy slow uplinks.
-fn retry_info() {
-    println!("Ablation: uplink retry information (1vs11 uplink, lossy slow node)\n");
+fn retry_info(out: &mut Output) {
     let mut rows = Vec::new();
     for (label, retry_info, estimator, fer) in [
         ("single-attempt estimate, 1% loss", false, false, 0.01),
@@ -135,18 +134,18 @@ fn retry_info() {
             pct(r.nodes[1].occupancy_share),
         ]);
     }
-    print_table(
+    out.table(
+        "Ablation: uplink retry information (1vs11 uplink, lossy slow node)",
         &["accounting", "R(11M)", "R(1M lossy)", "T(1M lossy)"],
         &rows,
     );
-    println!("(the estimate leaves retransmission airtime unbilled, biasing the");
-    println!("lossy slow node — the bias the paper observed in its prototype)");
+    out.note("(the estimate leaves retransmission airtime unbilled, biasing the");
+    out.note("lossy slow node — the bias the paper observed in its prototype)");
     println!();
 }
 
 /// All four disciplines on the same mixed-rate downlink workload.
-fn scheduler_family() {
-    println!("Ablation: scheduler family (1vs11 downlink)\n");
+fn scheduler_family(out: &mut Output) {
     let mut rows = Vec::new();
     let tbr_red = TbrConfig {
         buffer: airtime_core::BufferPolicy::Red(airtime_core::RedConfig::default()),
@@ -172,7 +171,11 @@ fn scheduler_family() {
             pct(r.nodes[0].occupancy_share),
         ]);
     }
-    print_table(&["scheduler", "R(11M)", "R(1M)", "total", "T(11M)"], &rows);
-    println!("(FIFO/RR/DRR are all throughput-fair; TBR, TBR+RED and TXOP are");
-    println!("time-fair and lift the total)");
+    out.table(
+        "Ablation: scheduler family (1vs11 downlink)",
+        &["scheduler", "R(11M)", "R(1M)", "total", "T(11M)"],
+        &rows,
+    );
+    out.note("(FIFO/RR/DRR are all throughput-fair; TBR, TBR+RED and TXOP are");
+    out.note("time-fair and lift the total)");
 }

@@ -2,14 +2,14 @@
 //! three synthetic workshop sessions (WS-1..3) and the simulated EXP-1
 //! office experiment.
 
-use airtime_bench::{pct, print_table};
+use airtime_bench::{pct, Output};
 use airtime_phy::DataRate;
 use airtime_sim::SimDuration;
 use airtime_trace::{bytes_by_rate, workshop_trace, WorkshopConfig};
 use airtime_wlan::{run, scenarios, SchedulerKind};
 
 fn main() {
-    println!("Figure 1: byte fractions per data rate\n");
+    let mut out = Output::from_args("Figure 1: byte fractions per data rate");
     let mut rows = Vec::new();
     for (label, cfg) in [
         ("WS-1", WorkshopConfig::ws1()),
@@ -27,11 +27,11 @@ fn main() {
     let report = run(&cfg);
     let trace = report.trace.as_ref().expect("EXP-1 records a trace");
     rows.push(row("EXP-1", &bytes_by_rate(trace)));
-    print_table(&["session", "1M", "2M", "5.5M", "11M"], &rows);
-    println!();
-    println!("shape to check (paper Fig 1): WS sessions mostly 11M with real");
-    println!("diversity below (WS-2 >30% under 11M); EXP-1 dominated by 1M");
-    println!("(paper: >50% of bytes at the lowest rate).");
+    out.table("", &["session", "1M", "2M", "5.5M", "11M"], &rows);
+    out.note("shape to check (paper Fig 1): WS sessions mostly 11M with real");
+    out.note("diversity below (WS-2 >30% under 11M); EXP-1 dominated by 1M");
+    out.note("(paper: >50% of bytes at the lowest rate).");
+    out.finish();
 }
 
 fn row(label: &str, fracs: &[(DataRate, f64)]) -> Vec<String> {

@@ -1,12 +1,12 @@
 //! Figure 2 — the DCF anomaly: achieved TCP throughputs and channel
 //! occupancy fractions for two uploaders, 11vs11 and 1vs11.
 
-use airtime_bench::{mbps, measure, pct, print_table};
+use airtime_bench::{mbps, measure, pct, Output};
 use airtime_phy::DataRate;
 use airtime_wlan::{scenarios, SchedulerKind};
 
 fn main() {
-    println!("Figure 2: two competing TCP uploaders under stock DCF\n");
+    let mut out = Output::from_args("Figure 2: two competing TCP uploaders under stock DCF");
     let mut rows = Vec::new();
     for (label, rates) in [
         ("11 vs 11", [DataRate::B11, DataRate::B11]),
@@ -23,11 +23,12 @@ fn main() {
             pct(r.nodes[1].occupancy_share),
         ]);
     }
-    print_table(
+    out.table(
+        "",
         &["case", "rates", "R(n1)", "R(n2)", "total", "T(n1)", "T(n2)"],
         &rows,
     );
-    println!();
-    println!("paper: 11vs11 total 5.08; 11vs1 ~0.67 each, total 1.34,");
-    println!("       slow node holding 6.4x the fast node's channel time");
+    out.note("paper: 11vs11 total 5.08; 11vs1 ~0.67 each, total 1.34,");
+    out.note("       slow node holding 6.4x the fast node's channel time");
+    out.finish();
 }

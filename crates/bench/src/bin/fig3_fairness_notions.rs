@@ -2,12 +2,13 @@
 //! throughput-based (RF) vs time-based (TF) fairness, for 11vs11,
 //! 1vs11 and 1vs1.
 
-use airtime_bench::{mbps, measure, pct, print_table};
+use airtime_bench::{mbps, measure, pct, Output};
 use airtime_phy::DataRate;
 use airtime_wlan::{scenarios, SchedulerKind};
 
 fn main() {
-    println!("Figure 3: achieved TCP throughput and occupancy under RF vs TF\n");
+    let mut out =
+        Output::from_args("Figure 3: achieved TCP throughput and occupancy under RF vs TF");
     let mut rows = Vec::new();
     for (case, rates) in [
         ("11vs11", [DataRate::B11, DataRate::B11]),
@@ -26,12 +27,13 @@ fn main() {
             ]);
         }
     }
-    print_table(
+    out.table(
+        "",
         &["case", "R(n1)", "R(n2)", "total", "T(n1)", "T(n2)"],
         &rows,
     );
-    println!();
-    println!("shape to check (paper Fig 3): equal-rate cases identical under both");
-    println!("notions; 1vs11 under RF equal R but skewed T; under TF equal T and");
-    println!("n2(11M) far ahead on R, with n1(1M) matching its 1vs1 value.");
+    out.note("shape to check (paper Fig 3): equal-rate cases identical under both");
+    out.note("notions; 1vs11 under RF equal R but skewed T; under TF equal T and");
+    out.note("n2(11M) far ahead on R, with n1(1M) matching its 1vs1 value.");
+    out.finish();
 }

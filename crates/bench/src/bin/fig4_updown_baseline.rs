@@ -1,11 +1,11 @@
 //! Figure 4 — UDP and TCP throughputs for three 11 Mbit/s nodes, uplink
 //! and downlink.
 
-use airtime_bench::{mbps, measure, print_table};
+use airtime_bench::{mbps, measure, Output};
 use airtime_wlan::{scenarios, Direction, SchedulerKind, Transport};
 
 fn main() {
-    println!("Figure 4: three 11M nodes exchanging data with the AP\n");
+    let mut out = Output::from_args("Figure 4: three 11M nodes exchanging data with the AP");
     let mut rows = Vec::new();
     for transport in [Transport::Udp, Transport::Tcp] {
         for direction in [Direction::Uplink, Direction::Downlink] {
@@ -24,9 +24,9 @@ fn main() {
             ]);
         }
     }
-    print_table(&["case", "n1", "n2", "n3", "total"], &rows);
-    println!();
-    println!("shape to check (paper Fig 4): per-node splits equal; UDP > TCP");
-    println!("(TCP ack airtime); uplink > downlink (the solo AP sender pays a");
-    println!("post-transmission backoff after every frame).");
+    out.table("", &["case", "n1", "n2", "n3", "total"], &rows);
+    out.note("shape to check (paper Fig 4): per-node splits equal; UDP > TCP");
+    out.note("(TCP ack airtime); uplink > downlink (the solo AP sender pays a");
+    out.note("post-transmission backoff after every frame).");
+    out.finish();
 }

@@ -1,28 +1,29 @@
 //! Figure 5 — fraction of throughput achieved by the heaviest user in
 //! busy one-second intervals at a congested residence-hall AP.
 
-use airtime_bench::{pct, print_table};
+use airtime_bench::{pct, Output};
 use airtime_sim::SimDuration;
 use airtime_trace::{busy_intervals, residence_trace, ResidenceConfig};
 
 fn main() {
-    println!("Figure 5: heaviest-user share of busy (>4 Mb/s) 1 s intervals\n");
+    let mut out =
+        Output::from_args("Figure 5: heaviest-user share of busy (>4 Mb/s) 1 s intervals");
     let trace = residence_trace(&ResidenceConfig::default(), 2002);
     let b = busy_intervals(&trace, SimDuration::from_secs(1), 4.0);
-    println!(
+    out.note(&format!(
         "windows inspected: {}   busy: {} ({})",
         b.windows,
         b.busy,
         pct(b.busy as f64 / b.windows as f64)
-    );
-    println!(
+    ));
+    out.note(&format!(
         "mean heaviest-user share in busy windows: {}",
         pct(b.mean_heaviest())
-    );
-    println!(
+    ));
+    out.note(&format!(
         "busy windows where the heaviest user was effectively alone (>99%): {}",
         pct(b.solo_fraction(0.99))
-    );
+    ));
     println!();
     // Distribution of the heaviest-user share, a textual view of the
     // figure's scatter.
@@ -40,9 +41,9 @@ fn main() {
             pct(count as f64 / b.busy.max(1) as f64),
         ]);
     }
-    print_table(&["heaviest share", "busy windows", "fraction"], &rows);
-    println!();
-    println!("shape to check (paper Fig 5): the heaviest user usually moves the");
-    println!("majority of bytes but almost never saturates the AP alone — other");
-    println!("users exchange significant data in most busy seconds.");
+    out.table("", &["heaviest share", "busy windows", "fraction"], &rows);
+    out.note("shape to check (paper Fig 5): the heaviest user usually moves the");
+    out.note("majority of bytes but almost never saturates the AP alone — other");
+    out.note("users exchange significant data in most busy seconds.");
+    out.finish();
 }

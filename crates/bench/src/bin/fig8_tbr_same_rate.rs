@@ -1,12 +1,12 @@
 //! Figure 8 — TBR overhead check: two same-rate TCP nodes, uplink and
 //! downlink, stock AP (Exp-Normal) vs TBR (Exp-TBR).
 
-use airtime_bench::{mbps, measure, print_table};
+use airtime_bench::{mbps, measure, Output};
 use airtime_phy::DataRate;
 use airtime_wlan::{scenarios, Direction, SchedulerKind};
 
 fn main() {
-    println!("Figure 8: same-rate pairs — TBR must cost nothing\n");
+    let mut out = Output::from_args("Figure 8: same-rate pairs — TBR must cost nothing");
     let mut rows = Vec::new();
     for rate in [DataRate::B11, DataRate::B1] {
         for direction in [Direction::Uplink, Direction::Downlink] {
@@ -24,9 +24,9 @@ fn main() {
             }
         }
     }
-    print_table(&["case", "n1", "n2", "total"], &rows);
-    println!();
-    println!("shape to check (paper Fig 8): Normal and TBR rows nearly identical");
-    println!("for every same-rate pair, i.e. the regulator adds no overhead when");
-    println!("there is nothing to regulate.");
+    out.table("", &["case", "n1", "n2", "total"], &rows);
+    out.note("shape to check (paper Fig 8): Normal and TBR rows nearly identical");
+    out.note("for every same-rate pair, i.e. the regulator adds no overhead when");
+    out.note("there is nothing to regulate.");
+    out.finish();
 }

@@ -2,21 +2,18 @@
 //! analytic predictions Eq 6 (RF) and Eq 12 (TF). Downlink (9a) and
 //! uplink (9b).
 
-use airtime_bench::{mbps, measure, print_table};
+use airtime_bench::{mbps, measure, Output};
 use airtime_model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
 use airtime_phy::DataRate;
 use airtime_wlan::{scenarios, Direction, SchedulerKind};
 
 fn main() {
-    println!("Figure 9: mixed-rate TCP pairs (n1 at 11M vs n2 slower)\n");
+    let mut out = Output::from_args("Figure 9: mixed-rate TCP pairs (n1 at 11M vs n2 slower)");
     for direction in [Direction::Downlink, Direction::Uplink] {
-        println!(
-            "--- {} ---",
-            match direction {
-                Direction::Downlink => "9(a) downlink",
-                Direction::Uplink => "9(b) uplink",
-            }
-        );
+        let section = match direction {
+            Direction::Downlink => "9(a) downlink",
+            Direction::Uplink => "9(b) uplink",
+        };
         let mut rows = Vec::new();
         let mut gains = Vec::new();
         for slow in [DataRate::B5_5, DataRate::B2, DataRate::B1] {
@@ -63,13 +60,17 @@ fn main() {
                 ]);
             }
         }
-        print_table(&["case", "R(n1,11M)", "R(n2)", "total"], &rows);
+        out.table(section, &["case", "R(n1,11M)", "R(n2)", "total"], &rows);
         for (slow, gain) in gains {
-            println!("TBR aggregate gain, {slow} vs 11M: {:.0}%", gain * 100.0);
+            out.note(&format!(
+                "TBR aggregate gain, {slow} vs 11M: {:.0}%",
+                gain * 100.0
+            ));
         }
         println!();
     }
-    println!("shape to check (paper Fig 9): Exp-Normal tracks Eq6, Exp-TBR tracks");
-    println!("Eq12; downlink gains ~6% (5.5v11), ~35% (2v11), ~103% (1v11), with");
-    println!("similar uplink improvements.");
+    out.note("shape to check (paper Fig 9): Exp-Normal tracks Eq6, Exp-TBR tracks");
+    out.note("Eq12; downlink gains ~6% (5.5v11), ~35% (2v11), ~103% (1v11), with");
+    out.note("similar uplink improvements.");
+    out.finish();
 }

@@ -1,15 +1,16 @@
 //! Table 1 — fairness and efficiency measures under RF vs TF, from
 //! both the analytic task model and full task-model simulations.
 
-use airtime_bench::{mbps, print_table};
+use airtime_bench::{mbps, Output};
 use airtime_core::throughput_gap;
 use airtime_model::{gamma_measured, task_schedule, FairnessPolicy, NodeSpec};
 use airtime_phy::DataRate;
 use airtime_wlan::{run, scenarios, SchedulerKind};
 
 fn main() {
-    println!("Table 1: measures under throughput-based (RF) vs time-based (TF)");
-    println!("fairness, 1vs11 Mbit/s, equal 4 MB tasks\n");
+    let mut out = Output::from_args(
+        "Table 1: measures under throughput-based (RF) vs time-based (TF)\nfairness, 1vs11 Mbit/s, equal 4 MB tasks",
+    );
 
     // Analytic fluid task model.
     let nodes = [
@@ -103,11 +104,11 @@ fn main() {
             mbps(tf_fluid.total_goodput_mbps),
         ],
     ];
-    print_table(&["measure", "RF", "TF"], &rows);
-    println!();
-    println!("shape to check (paper Table 1): RF better on R-gap, TF better on");
-    println!("T-gap; FinalTaskTime the same; AvgTaskTime and AggrThruput better");
-    println!("under TF.");
+    out.table("", &["measure", "RF", "TF"], &rows);
+    out.note("shape to check (paper Table 1): RF better on R-gap, TF better on");
+    out.note("T-gap; FinalTaskTime the same; AvgTaskTime and AggrThruput better");
+    out.note("under TF.");
+    out.finish();
 }
 
 fn airtime_bench_fluid(sched: SchedulerKind) -> airtime_wlan::NetworkConfig {

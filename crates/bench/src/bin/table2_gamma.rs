@@ -1,13 +1,14 @@
 //! Table 2 — baseline throughput γ(d, 1500, 2): total TCP throughput of
 //! two same-rate uploaders, per rate.
 
-use airtime_bench::{mbps, measure, print_table};
+use airtime_bench::{mbps, measure, Output};
 use airtime_model::{gamma_measured, gamma_tcp_table2};
 use airtime_phy::DataRate;
 use airtime_wlan::{scenarios, SchedulerKind};
 
 fn main() {
-    println!("Table 2: baseline throughput gamma(d, s=1500B, n=2), TCP uplink\n");
+    let mut out =
+        Output::from_args("Table 2: baseline throughput gamma(d, s=1500B, n=2), TCP uplink");
     let mut rows = Vec::new();
     for rate in DataRate::ALL_B.iter().rev() {
         let cfg = scenarios::uploaders(&[*rate, *rate], SchedulerKind::Fifo);
@@ -19,5 +20,10 @@ fn main() {
             mbps(gamma_measured(*rate).unwrap_or(f64::NAN)),
         ]);
     }
-    print_table(&["rate", "simulated (Mb/s)", "closed-form", "paper"], &rows);
+    out.table(
+        "",
+        &["rate", "simulated (Mb/s)", "closed-form", "paper"],
+        &rows,
+    );
+    out.finish();
 }

@@ -1,13 +1,13 @@
 //! Table 3 — four uploaders at 1, 2, 11, 11 Mbit/s under RF and TF:
 //! analytic predictions (from Table 2's γ) and full simulation.
 
-use airtime_bench::{mbps, measure, print_table};
+use airtime_bench::{mbps, measure, Output};
 use airtime_model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
 use airtime_phy::DataRate;
 use airtime_wlan::{scenarios, SchedulerKind};
 
 fn main() {
-    println!("Table 3: four nodes at 1, 2, 11, 11 Mbit/s\n");
+    let mut out = Output::from_args("Table 3: four nodes at 1, 2, 11, 11 Mbit/s");
     let mix = [DataRate::B1, DataRate::B2, DataRate::B11, DataRate::B11];
     let specs: Vec<NodeSpec> = mix
         .iter()
@@ -46,7 +46,8 @@ fn main() {
         row.extend(take(&vals));
         rows.push(row);
     }
-    print_table(
+    out.table(
+        "",
         &[
             "allocation",
             "R(n1,1M)",
@@ -57,10 +58,10 @@ fn main() {
         ],
         &rows,
     );
-    println!();
-    println!(
+    out.note(&format!(
         "TF/RF aggregate gain: analytic {:.0}%, simulated {:.0}% (paper: 82%)",
         (tf_pred.total / rf_pred.total - 1.0) * 100.0,
         (tf_sim.total_goodput_mbps / rf_sim.total_goodput_mbps - 1.0) * 100.0
-    );
+    ));
+    out.finish();
 }

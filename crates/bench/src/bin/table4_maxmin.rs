@@ -1,11 +1,12 @@
 //! Table 4 — the max-min rate-adjustment check: two 11 Mbit/s
 //! uploaders, n2 application-limited to 2.1 Mbit/s.
 
-use airtime_bench::{mbps, measure, print_table};
+use airtime_bench::{mbps, measure, Output};
 use airtime_wlan::{scenarios, SchedulerKind};
 
 fn main() {
-    println!("Table 4: n2 app-limited to 2.1 Mb/s, n1 unconstrained, both 11M\n");
+    let mut out =
+        Output::from_args("Table 4: n2 app-limited to 2.1 Mb/s, n1 unconstrained, both 11M");
     let normal = measure(scenarios::bottleneck_table4(SchedulerKind::Fifo));
     let tbr = measure(scenarios::bottleneck_table4(SchedulerKind::tbr()));
     let rows = vec![
@@ -31,12 +32,13 @@ fn main() {
             "5.061".into(),
         ],
     ];
-    print_table(
+    out.table(
+        "",
         &["node", "Exp-Normal", "Exp-TBR", "paper Normal", "paper TBR"],
         &rows,
     );
-    println!();
-    println!("shape to check (paper Table 4): no significant difference between");
-    println!("Normal and TBR — ADJUSTRATEEVENT reassigns n2's unused share to n1");
-    println!("instead of idling the channel.");
+    out.note("shape to check (paper Table 4): no significant difference between");
+    out.note("Normal and TBR — ADJUSTRATEEVENT reassigns n2's unused share to n1");
+    out.note("instead of idling the channel.");
+    out.finish();
 }

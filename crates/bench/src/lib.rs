@@ -3,8 +3,16 @@
 //! Every table and figure in the paper's evaluation has a binary in
 //! `src/bin/` that reruns the experiment at full length and prints the
 //! corresponding rows (`cargo run -p airtime-bench --bin <name>`), next
-//! to the paper's published numbers where the paper states them. The
-//! Criterion benches in `benches/` time the same scenario code.
+//! to the paper's published numbers where the paper states them. Every
+//! binary also accepts `--json <path>` to mirror its tables into a
+//! machine-readable file (see [`output`]). The benches in `benches/`
+//! time the same scenario code with the dependency-free [`harness`]
+//! module.
+
+pub mod harness;
+pub mod output;
+
+pub use output::Output;
 
 use airtime_sim::SimDuration;
 use airtime_wlan::{run, NetworkConfig, Report};

@@ -1,0 +1,162 @@
+//! The shared result sink for the fig/table binaries.
+//!
+//! Every reproduction binary prints aligned tables to stdout, exactly
+//! as before; routing them through [`Output`] additionally mirrors the
+//! same rows to a machine-readable JSON file when the binary is run
+//! with `--json <path>`. The export uses the `airtime-obs` JSON
+//! machinery, so downstream tooling reads one format for simulator
+//! metrics and bench results alike.
+//!
+//! ```text
+//! cargo run -p airtime-bench --bin fig2_dcf_anomaly -- --json fig2.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use airtime_obs::json::{array_str, Obj};
+
+use crate::print_table;
+
+/// Collects the tables and notes a binary produces, printing each as it
+/// arrives and writing the JSON mirror on [`Output::finish`].
+pub struct Output {
+    title: String,
+    json: Option<PathBuf>,
+    tables: Vec<Table>,
+    notes: Vec<String>,
+}
+
+struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Output {
+    /// Creates the sink for a binary titled `title` and prints the
+    /// title. Recognises `--json <path>` in the process arguments;
+    /// any other argument is an error (the reproduction binaries take
+    /// no other options).
+    pub fn from_args(title: &str) -> Output {
+        let mut json = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => match args.next() {
+                    Some(p) => json = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --json needs a path");
+                        exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("error: unknown option '{other}' (only --json <path>)");
+                    exit(2);
+                }
+            }
+        }
+        println!("{title}\n");
+        Output {
+            title: title.to_string(),
+            json,
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Prints a table — an optional section heading, then the aligned
+    /// rows — and records it for the export. Use an empty `name` for a
+    /// binary's single main table.
+    pub fn table(&mut self, name: &str, header: &[&str], rows: &[Vec<String>]) {
+        if !name.is_empty() {
+            println!("{name}");
+        }
+        print_table(header, rows);
+        println!();
+        self.tables.push(Table {
+            name: name.to_string(),
+            columns: header.iter().map(|s| s.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+    }
+
+    /// Prints a free-form line (paper comparison points, caveats) and
+    /// records it in the export's `notes` array.
+    pub fn note(&mut self, text: &str) {
+        println!("{text}");
+        self.notes.push(text.to_string());
+    }
+
+    /// Writes the JSON mirror if `--json` was given. Exits non-zero on
+    /// a write failure so scripted runs notice.
+    pub fn finish(self) {
+        let Some(path) = &self.json else { return };
+        if let Err(e) = std::fs::write(path, self.render() + "\n") {
+            eprintln!("error: writing {}: {e}", path.display());
+            exit(1);
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut tables = String::from("[");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                tables.push(',');
+            }
+            let mut rows = String::from("[");
+            for (j, row) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    rows.push(',');
+                }
+                rows.push_str(&array_str(row));
+            }
+            rows.push(']');
+            let mut o = Obj::new();
+            o.str("name", &t.name)
+                .raw("columns", &array_str(&t.columns))
+                .raw("rows", &rows);
+            tables.push_str(&o.finish());
+        }
+        tables.push(']');
+        let mut o = Obj::new();
+        o.str("title", &self.title)
+            .raw("tables", &tables)
+            .raw("notes", &array_str(&self.notes));
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Output {
+        Output {
+            title: "Figure N".into(),
+            json: None,
+            tables: vec![Table {
+                name: "main".into(),
+                columns: vec!["case".into(), "Mb/s".into()],
+                rows: vec![vec!["11 vs 1".into(), "1.337".into()]],
+            }],
+            notes: vec!["paper: 1.34".into()],
+        }
+    }
+
+    #[test]
+    fn render_emits_tables_and_notes() {
+        let json = sample().render();
+        assert_eq!(
+            json,
+            r#"{"title":"Figure N","tables":[{"name":"main","columns":["case","Mb/s"],"rows":[["11 vs 1","1.337"]]}],"notes":["paper: 1.34"]}"#
+        );
+    }
+
+    #[test]
+    fn render_escapes_quotes() {
+        let mut out = sample();
+        out.notes = vec!["a \"quoted\" note".into()];
+        assert!(out.render().contains(r#"a \"quoted\" note"#));
+    }
+}

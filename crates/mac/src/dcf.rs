@@ -108,6 +108,21 @@ pub enum MacEffect {
         collision: bool,
         /// Channel occupancy of this single attempt.
         airtime: SimDuration,
+        /// How many earlier attempts this frame already consumed (0 for
+        /// a first transmission).
+        retry: u32,
+    },
+    /// A station drew a fresh backoff counter. Only emitted when the
+    /// embedder opted in via [`DcfWorld::set_emit_backoff`]; the draw
+    /// itself happens (and consumes randomness) either way, so opting
+    /// in never perturbs the run.
+    BackoffDrawn {
+        /// The station that drew.
+        node: NodeId,
+        /// Slots drawn, uniform in `[0, cw]`.
+        slots: u32,
+        /// The contention window used for the draw.
+        cw: u32,
     },
 }
 
@@ -137,6 +152,8 @@ pub struct MacStats {
     pub attempts: u64,
     /// Attempts that ended in a slot collision.
     pub collision_events: u64,
+    /// Attempts that were retransmissions (retry index ≥ 1).
+    pub retries: u64,
     /// Frames delivered (acked).
     pub delivered: u64,
     /// Frames dropped at the retry limit.
@@ -161,6 +178,7 @@ pub struct DcfWorld {
     occupancy: Vec<SimDuration>,
     busy_accum: SimDuration,
     stats: MacStats,
+    emit_backoff: bool,
 }
 
 impl DcfWorld {
@@ -198,7 +216,15 @@ impl DcfWorld {
             occupancy: vec![SimDuration::ZERO; n],
             busy_accum: SimDuration::ZERO,
             stats: MacStats::default(),
+            emit_backoff: false,
         }
+    }
+
+    /// Opts in to [`MacEffect::BackoffDrawn`] effects. Off by default;
+    /// turning it on changes only the effect stream, never the backoff
+    /// draws themselves.
+    pub fn set_emit_backoff(&mut self, on: bool) {
+        self.emit_backoff = on;
     }
 
     /// Number of stations (including the AP).
@@ -246,6 +272,7 @@ impl DcfWorld {
         if self.stations[idx].pending.is_some() {
             return Err(frame);
         }
+        let mut effects = Vec::new();
         let medium_busy = self.busy_until.is_some_and(|t| now < t);
         let needs_backoff = self.stations[idx].backoff.is_none();
         if needs_backoff {
@@ -253,7 +280,15 @@ impl DcfWorld {
             // the medium is idle, fresh draw when it is busy.
             let b = if medium_busy {
                 let cw = self.stations[idx].cw;
-                self.draw_backoff(cw)
+                let b = self.draw_backoff(cw);
+                if self.emit_backoff {
+                    effects.push(MacEffect::BackoffDrawn {
+                        node: frame.src,
+                        slots: b,
+                        cw,
+                    });
+                }
+                b
             } else {
                 0
             };
@@ -263,7 +298,6 @@ impl DcfWorld {
         st.pending = Some(frame);
         st.retries = 0;
         st.airtime_this_frame = SimDuration::ZERO;
-        let mut effects = Vec::new();
         self.reschedule_access(now, &mut effects);
         Ok(effects)
     }
@@ -452,6 +486,10 @@ impl DcfWorld {
             self.stations[w].backoff = None; // consumed
         }
         self.stats.attempts += winners.len() as u64;
+        self.stats.retries += winners
+            .iter()
+            .filter(|&&w| self.stations[w].retries > 0)
+            .count() as u64;
         let collided = winners.len() > 1;
         if collided {
             self.stats.collision_events += 1;
@@ -487,6 +525,7 @@ impl DcfWorld {
                 success,
                 collision,
                 airtime: tx.airtime,
+                retry: self.stations[idx].retries,
             });
             if success {
                 self.stats.delivered += 1;
@@ -497,7 +536,7 @@ impl DcfWorld {
                     outcome: FrameOutcome::Delivered,
                     airtime_total: total,
                 });
-                self.finish_frame(idx);
+                self.finish_frame(idx, effects);
             } else {
                 let st = &mut self.stations[idx];
                 st.retries += 1;
@@ -509,11 +548,18 @@ impl DcfWorld {
                         outcome: FrameOutcome::Dropped,
                         airtime_total: total,
                     });
-                    self.finish_frame(idx);
+                    self.finish_frame(idx, effects);
                 } else {
                     st.cw = self.config.phy.cw_after(st.retries);
                     let cw = st.cw;
                     let b = self.draw_backoff(cw);
+                    if self.emit_backoff {
+                        effects.push(MacEffect::BackoffDrawn {
+                            node: tx.frame.src,
+                            slots: b,
+                            cw,
+                        });
+                    }
                     self.stations[idx].backoff = Some(b);
                 }
             }
@@ -523,9 +569,16 @@ impl DcfWorld {
 
     /// Resets sender state after a frame's final outcome and draws the
     /// mandatory post-transmission backoff.
-    fn finish_frame(&mut self, idx: usize) {
+    fn finish_frame(&mut self, idx: usize, effects: &mut Vec<MacEffect>) {
         let cw_min = self.config.phy.cw_min;
         let b = self.draw_backoff(cw_min);
+        if self.emit_backoff {
+            effects.push(MacEffect::BackoffDrawn {
+                node: NodeId(idx),
+                slots: b,
+                cw: cw_min,
+            });
+        }
         let st = &mut self.stations[idx];
         st.pending = None;
         st.retries = 0;

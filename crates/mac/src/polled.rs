@@ -200,6 +200,7 @@ impl PolledWorld {
                     success: !lost,
                     collision: false,
                     airtime: span,
+                    retry: 0,
                 });
                 if lost {
                     effects.push(MacEffect::TxFinal {

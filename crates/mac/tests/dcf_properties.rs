@@ -1,11 +1,10 @@
-//! Property-based DCF invariants: over random station counts, rates,
-//! frame sizes and loss rates, the MAC must conserve airtime, never
-//! deliver more than it attempts, and replay identically per seed.
+//! Randomized DCF invariants: over random station counts, rates, frame
+//! sizes and loss rates, the MAC must conserve airtime, never deliver
+//! more than it attempts, and replay identically per seed.
 
 use airtime_mac::{DcfConfig, DcfWorld, Frame, MacEffect, MacEvent, NodeId};
 use airtime_phy::{DataRate, LinkErrorModel, Phy80211b};
 use airtime_sim::{EventQueue, SimRng, SimTime};
-use proptest::prelude::*;
 
 const AP: NodeId = NodeId(0);
 
@@ -16,13 +15,17 @@ struct Station {
     fer: f64,
 }
 
-fn station_strategy() -> impl Strategy<Value = Station> {
-    (
-        prop::sample::select(DataRate::ALL_B.to_vec()),
-        100u64..1500,
-        0.0f64..0.6,
-    )
-        .prop_map(|(rate, bytes, fer)| Station { rate, bytes, fer })
+fn random_station(rng: &mut SimRng) -> Station {
+    Station {
+        rate: DataRate::ALL_B[rng.below(DataRate::ALL_B.len() as u64) as usize],
+        bytes: rng.range_inclusive(100, 1499),
+        fer: rng.unit() * 0.6,
+    }
+}
+
+fn random_cell(rng: &mut SimRng, max_n: u64) -> Vec<Station> {
+    let n = rng.range_inclusive(1, max_n);
+    (0..n).map(|_| random_station(rng)).collect()
 }
 
 /// Runs a saturated cell for one simulated second; returns
@@ -93,19 +96,20 @@ fn run_cell(stations: &[Station], seed: u64) -> (u64, u64, u64, u64, u64, u64) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn dcf_invariants_hold(
-        stations in prop::collection::vec(station_strategy(), 1..5),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn dcf_invariants_hold() {
+    let mut gen = SimRng::new(0xDCF0);
+    for case in 0..24 {
+        let stations = random_cell(&mut gen, 4);
+        let seed = gen.below(1000);
         let (delivered, attempts, collisions, occ, wall, busy) = run_cell(&stations, seed);
-        prop_assert!(delivered <= attempts, "delivered {delivered} > attempts {attempts}");
-        prop_assert!(attempts > 0, "a saturated cell must transmit");
+        assert!(
+            delivered <= attempts,
+            "case {case}: delivered {delivered} > attempts {attempts}"
+        );
+        assert!(attempts > 0, "case {case}: a saturated cell must transmit");
         // Busy time never exceeds wall time.
-        prop_assert!(busy <= wall + 1, "busy {busy} > wall {wall}");
+        assert!(busy <= wall + 1, "case {case}: busy {busy} > wall {wall}");
         // Client occupancy = busy + per-attempt DIFS accounting: it can
         // exceed medium busy time by exactly the DIFS charged per
         // attempt (plus one in-flight frame of slack).
@@ -114,24 +118,26 @@ proptest! {
         // MAC), so allow one exchange of slack per collision event.
         let slack = 20_000_000u64 * (collisions + 1);
         let difs_total = attempts * 50_000;
-        prop_assert!(
+        assert!(
             occ <= busy + difs_total + slack,
-            "occ {occ} busy {busy} difs {difs_total} collisions {collisions}"
+            "case {case}: occ {occ} busy {busy} difs {difs_total} collisions {collisions}"
         );
         // A saturated channel does real work. (High loss rates escalate
         // the contention window, so "mostly busy" is not guaranteed —
         // a 60%-loss station legitimately spends most of its time in
         // backoff.)
-        prop_assert!(busy * 10 >= wall, "busy {busy} wall {wall}");
+        assert!(busy * 10 >= wall, "case {case}: busy {busy} wall {wall}");
     }
+}
 
-    #[test]
-    fn dcf_is_deterministic_per_seed(
-        stations in prop::collection::vec(station_strategy(), 1..4),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn dcf_is_deterministic_per_seed() {
+    let mut gen = SimRng::new(0xDCF1);
+    for case in 0..12 {
+        let stations = random_cell(&mut gen, 3);
+        let seed = gen.below(100);
         let a = run_cell(&stations, seed);
         let b = run_cell(&stations, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case} not reproducible");
     }
 }

@@ -1,0 +1,541 @@
+//! Typed event records and their JSONL wire format.
+//!
+//! Each record serialises to one flat JSON object per line, carrying a
+//! `"type"` discriminator and a `"t_ns"` timestamp. The format is
+//! append-only: readers must ignore unknown fields (and [`parse_line`]
+//! does), so new fields can be added without breaking old traces.
+
+use airtime_sim::{SimDuration, SimTime};
+
+use crate::json::{parse_flat, Obj, Value};
+
+/// Where in the MAC lifecycle a [`EventRecord::Mac`] record was emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MacPhase {
+    /// A station won channel access and its transmission started.
+    TxStart,
+    /// A transmission (success or not) finished on the air.
+    TxEnd,
+    /// A frame was dropped after exhausting its retry budget.
+    Drop,
+}
+
+impl MacPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            MacPhase::TxStart => "tx_start",
+            MacPhase::TxEnd => "tx_end",
+            MacPhase::Drop => "drop",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "tx_start" => MacPhase::TxStart,
+            "tx_end" => MacPhase::TxEnd,
+            "drop" => MacPhase::Drop,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a token balance changed ([`EventRecord::TokenUpdate`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenCause {
+    /// Periodic fill distributed the tick's airtime budget.
+    Fill,
+    /// A completed transmission debited its measured airtime.
+    Debit,
+}
+
+impl TokenCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            TokenCause::Fill => "fill",
+            TokenCause::Debit => "debit",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "fill" => TokenCause::Fill,
+            "debit" => TokenCause::Debit,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened to a TCP flow ([`EventRecord::Tcp`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcpPhase {
+    /// An ACK advanced the window.
+    Ack,
+    /// The retransmission timer fired.
+    Rto,
+    /// The transfer completed.
+    Done,
+}
+
+impl TcpPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            TcpPhase::Ack => "ack",
+            TcpPhase::Rto => "rto",
+            TcpPhase::Done => "done",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "ack" => TcpPhase::Ack,
+            "rto" => TcpPhase::Rto,
+            "done" => TcpPhase::Done,
+            _ => return None,
+        })
+    }
+}
+
+/// Which queue a [`EventRecord::QueueChange`] refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueSite {
+    /// The AP-side scheduler queue for one client.
+    Ap,
+    /// A client station's local send queue.
+    Client,
+}
+
+impl QueueSite {
+    fn as_str(self) -> &'static str {
+        match self {
+            QueueSite::Ap => "ap",
+            QueueSite::Client => "client",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "ap" => QueueSite::Ap,
+            "client" => QueueSite::Client,
+            _ => return None,
+        })
+    }
+}
+
+/// One observability event, as emitted by the simulator and stored one
+/// per line in the JSONL trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventRecord {
+    /// Coarse MAC lifecycle marker.
+    Mac {
+        /// Simulation time.
+        t: SimTime,
+        /// Lifecycle phase.
+        phase: MacPhase,
+        /// Transmitting station (0 = AP).
+        node: u64,
+    },
+    /// A transmission attempt resolved (success or failure).
+    TxAttempt {
+        /// Simulation time at the end of the attempt.
+        t: SimTime,
+        /// Transmitting station (0 = AP).
+        node: u64,
+        /// MSDU payload size.
+        bytes: u64,
+        /// PHY data rate in Mbit/s.
+        rate_mbps: f64,
+        /// Whether the frame was ACKed.
+        success: bool,
+        /// How many retries this frame has consumed so far.
+        retry: u64,
+        /// Channel time occupied by the attempt.
+        airtime: SimDuration,
+    },
+    /// Two or more stations transmitted in the same slot.
+    Collision {
+        /// Simulation time.
+        t: SimTime,
+        /// Number of stations involved.
+        stations: u64,
+        /// Channel time wasted by the longest colliding frame.
+        airtime: SimDuration,
+    },
+    /// A station drew a fresh backoff counter.
+    Backoff {
+        /// Simulation time.
+        t: SimTime,
+        /// The station drawing.
+        node: u64,
+        /// Slots drawn, uniform in `[0, cw]`.
+        slots: u64,
+        /// The contention window the draw used.
+        cw: u64,
+    },
+    /// The AP scheduler picked a packet to transmit next.
+    SchedDecision {
+        /// Simulation time.
+        t: SimTime,
+        /// Destination/source client of the chosen packet.
+        client: u64,
+        /// Its payload size.
+        bytes: u64,
+        /// Queue length for that client after the dequeue.
+        queue_len: u64,
+    },
+    /// A TBR token balance changed.
+    TokenUpdate {
+        /// Simulation time.
+        t: SimTime,
+        /// The client whose bucket changed.
+        client: u64,
+        /// Balance after the change, in microseconds of airtime.
+        tokens_us: f64,
+        /// The client's current fill weight (normalised rate share).
+        rate: f64,
+        /// What caused the change.
+        cause: TokenCause,
+    },
+    /// A TCP flow progressed.
+    Tcp {
+        /// Simulation time.
+        t: SimTime,
+        /// Flow id (client index).
+        flow: u64,
+        /// What happened.
+        phase: TcpPhase,
+        /// Congestion window, in segments.
+        cwnd: f64,
+        /// Bytes in flight after the event.
+        flight: u64,
+    },
+    /// A simulated queue changed length.
+    QueueChange {
+        /// Simulation time.
+        t: SimTime,
+        /// Which queue.
+        site: QueueSite,
+        /// Queue key (client index).
+        key: u64,
+        /// Length after the change.
+        len: u64,
+    },
+}
+
+impl EventRecord {
+    /// The record's `"type"` discriminator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EventRecord::Mac { .. } => "mac",
+            EventRecord::TxAttempt { .. } => "tx_attempt",
+            EventRecord::Collision { .. } => "collision",
+            EventRecord::Backoff { .. } => "backoff",
+            EventRecord::SchedDecision { .. } => "sched_decision",
+            EventRecord::TokenUpdate { .. } => "token_update",
+            EventRecord::Tcp { .. } => "tcp",
+            EventRecord::QueueChange { .. } => "queue_change",
+        }
+    }
+
+    /// The record's timestamp.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            EventRecord::Mac { t, .. }
+            | EventRecord::TxAttempt { t, .. }
+            | EventRecord::Collision { t, .. }
+            | EventRecord::Backoff { t, .. }
+            | EventRecord::SchedDecision { t, .. }
+            | EventRecord::TokenUpdate { t, .. }
+            | EventRecord::Tcp { t, .. }
+            | EventRecord::QueueChange { t, .. } => t,
+        }
+    }
+
+    /// Serialises the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = Obj::new();
+        o.str("type", self.kind())
+            .u64("t_ns", self.time().as_nanos());
+        match self {
+            EventRecord::Mac { phase, node, .. } => {
+                o.str("phase", phase.as_str()).u64("node", *node);
+            }
+            EventRecord::TxAttempt {
+                node,
+                bytes,
+                rate_mbps,
+                success,
+                retry,
+                airtime,
+                ..
+            } => {
+                o.u64("node", *node)
+                    .u64("bytes", *bytes)
+                    .f64("rate_mbps", *rate_mbps)
+                    .bool("success", *success)
+                    .u64("retry", *retry)
+                    .u64("airtime_ns", airtime.as_nanos());
+            }
+            EventRecord::Collision {
+                stations, airtime, ..
+            } => {
+                o.u64("stations", *stations)
+                    .u64("airtime_ns", airtime.as_nanos());
+            }
+            EventRecord::Backoff {
+                node, slots, cw, ..
+            } => {
+                o.u64("node", *node).u64("slots", *slots).u64("cw", *cw);
+            }
+            EventRecord::SchedDecision {
+                client,
+                bytes,
+                queue_len,
+                ..
+            } => {
+                o.u64("client", *client)
+                    .u64("bytes", *bytes)
+                    .u64("queue_len", *queue_len);
+            }
+            EventRecord::TokenUpdate {
+                client,
+                tokens_us,
+                rate,
+                cause,
+                ..
+            } => {
+                o.u64("client", *client)
+                    .f64("tokens_us", *tokens_us)
+                    .f64("rate", *rate)
+                    .str("cause", cause.as_str());
+            }
+            EventRecord::Tcp {
+                flow,
+                phase,
+                cwnd,
+                flight,
+                ..
+            } => {
+                o.u64("flow", *flow)
+                    .str("phase", phase.as_str())
+                    .f64("cwnd", *cwnd)
+                    .u64("flight", *flight);
+            }
+            EventRecord::QueueChange { site, key, len, .. } => {
+                o.str("site", site.as_str())
+                    .u64("key", *key)
+                    .u64("len", *len);
+            }
+        }
+        o.finish()
+    }
+}
+
+/// Field lookup over a parsed flat object.
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn get(&self, k: &str) -> Result<&Value, String> {
+        self.0
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{k}'"))
+    }
+
+    fn u64(&self, k: &str) -> Result<u64, String> {
+        self.get(k)?
+            .as_u64()
+            .ok_or_else(|| format!("field '{k}' is not an integer"))
+    }
+
+    fn f64(&self, k: &str) -> Result<f64, String> {
+        self.get(k)?
+            .as_f64()
+            .ok_or_else(|| format!("field '{k}' is not a number"))
+    }
+
+    fn bool(&self, k: &str) -> Result<bool, String> {
+        self.get(k)?
+            .as_bool()
+            .ok_or_else(|| format!("field '{k}' is not a bool"))
+    }
+
+    fn str(&self, k: &str) -> Result<&str, String> {
+        self.get(k)?
+            .as_str()
+            .ok_or_else(|| format!("field '{k}' is not a string"))
+    }
+}
+
+/// Parses one JSONL trace line back into an [`EventRecord`].
+///
+/// Unknown fields are ignored; unknown `"type"` values are an error so
+/// callers can count and report them.
+pub fn parse_line(line: &str) -> Result<EventRecord, String> {
+    let f = Fields(parse_flat(line)?);
+    let t = SimTime::from_nanos(f.u64("t_ns")?);
+    let rec = match f.str("type")? {
+        "mac" => EventRecord::Mac {
+            t,
+            phase: MacPhase::parse(f.str("phase")?)
+                .ok_or_else(|| format!("bad mac phase '{}'", f.str("phase").unwrap()))?,
+            node: f.u64("node")?,
+        },
+        "tx_attempt" => EventRecord::TxAttempt {
+            t,
+            node: f.u64("node")?,
+            bytes: f.u64("bytes")?,
+            rate_mbps: f.f64("rate_mbps")?,
+            success: f.bool("success")?,
+            retry: f.u64("retry")?,
+            airtime: SimDuration::from_nanos(f.u64("airtime_ns")?),
+        },
+        "collision" => EventRecord::Collision {
+            t,
+            stations: f.u64("stations")?,
+            airtime: SimDuration::from_nanos(f.u64("airtime_ns")?),
+        },
+        "backoff" => EventRecord::Backoff {
+            t,
+            node: f.u64("node")?,
+            slots: f.u64("slots")?,
+            cw: f.u64("cw")?,
+        },
+        "sched_decision" => EventRecord::SchedDecision {
+            t,
+            client: f.u64("client")?,
+            bytes: f.u64("bytes")?,
+            queue_len: f.u64("queue_len")?,
+        },
+        "token_update" => EventRecord::TokenUpdate {
+            t,
+            client: f.u64("client")?,
+            tokens_us: f.f64("tokens_us")?,
+            rate: f.f64("rate")?,
+            cause: TokenCause::parse(f.str("cause")?)
+                .ok_or_else(|| format!("bad token cause '{}'", f.str("cause").unwrap()))?,
+        },
+        "tcp" => EventRecord::Tcp {
+            t,
+            flow: f.u64("flow")?,
+            phase: TcpPhase::parse(f.str("phase")?)
+                .ok_or_else(|| format!("bad tcp phase '{}'", f.str("phase").unwrap()))?,
+            cwnd: f.f64("cwnd")?,
+            flight: f.u64("flight")?,
+        },
+        "queue_change" => EventRecord::QueueChange {
+            t,
+            site: QueueSite::parse(f.str("site")?)
+                .ok_or_else(|| format!("bad queue site '{}'", f.str("site").unwrap()))?,
+            key: f.u64("key")?,
+            len: f.u64("len")?,
+        },
+        other => return Err(format!("unknown record type '{other}'")),
+    };
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<EventRecord> {
+        vec![
+            EventRecord::Mac {
+                t: SimTime::from_micros(10),
+                phase: MacPhase::TxStart,
+                node: 1,
+            },
+            EventRecord::TxAttempt {
+                t: SimTime::from_millis(2),
+                node: 2,
+                bytes: 1500,
+                rate_mbps: 11.0,
+                success: true,
+                retry: 1,
+                airtime: SimDuration::from_micros(1617),
+            },
+            EventRecord::Collision {
+                t: SimTime::from_secs(1),
+                stations: 2,
+                airtime: SimDuration::from_micros(12221),
+            },
+            EventRecord::Backoff {
+                t: SimTime::from_nanos(123_456_789),
+                node: 3,
+                slots: 17,
+                cw: 31,
+            },
+            EventRecord::SchedDecision {
+                t: SimTime::from_micros(999),
+                client: 0,
+                bytes: 576,
+                queue_len: 4,
+            },
+            EventRecord::TokenUpdate {
+                t: SimTime::from_millis(50),
+                client: 1,
+                tokens_us: -125.5,
+                rate: 0.5,
+                cause: TokenCause::Debit,
+            },
+            EventRecord::Tcp {
+                t: SimTime::from_secs(3),
+                flow: 1,
+                phase: TcpPhase::Rto,
+                cwnd: 1.0,
+                flight: 0,
+            },
+            EventRecord::QueueChange {
+                t: SimTime::from_micros(42),
+                site: QueueSite::Ap,
+                key: 2,
+                len: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for rec in samples() {
+            let line = rec.to_json_line();
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let rec = EventRecord::Backoff {
+            t: SimTime::from_micros(5),
+            node: 1,
+            slots: 3,
+            cw: 15,
+        };
+        let line = rec.to_json_line();
+        let extended = format!(
+            "{},\"future_field\":\"whatever\"}}",
+            &line[..line.len() - 1]
+        );
+        assert_eq!(parse_line(&extended).unwrap(), rec);
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        assert!(parse_line(r#"{"type":"warp_drive","t_ns":0}"#).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let err = parse_line(r#"{"type":"backoff","t_ns":0,"node":1,"slots":3}"#).unwrap_err();
+        assert!(err.contains("cw"), "{err}");
+    }
+
+    #[test]
+    fn kind_and_time_accessors() {
+        for rec in samples() {
+            assert!(rec.to_json_line().contains(rec.kind()));
+            assert!(rec.time().as_nanos() > 0);
+        }
+    }
+}

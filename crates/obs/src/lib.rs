@@ -1,0 +1,32 @@
+//! Observability for the airtime simulator: structured event tracing,
+//! a metrics registry, and trace inspection.
+//!
+//! The simulator itself stays observation-free; `airtime-wlan`'s event
+//! loop is generic over [`Observer`] and emits typed records at the
+//! interesting points (MAC transmissions, collisions, backoff draws,
+//! scheduler decisions, token-bucket updates, TCP progress, queue
+//! changes). Three observers ship here:
+//!
+//! - [`NullObserver`] — the default; `active()` is `false`, every hook
+//!   is a no-op, and monomorphisation removes the instrumentation from
+//!   the hot path entirely. A run with a `NullObserver` is
+//!   byte-identical to an unobserved run.
+//! - [`JsonlObserver`] — streams one flat JSON object per record to a
+//!   buffered file (the `--events` flag of `airtime-cli run`).
+//! - [`MemoryObserver`] — collects records in a `Vec` for tests.
+//!
+//! [`MetricsRegistry`] complements the event stream with named
+//! counters, gauges, and histograms plus a periodic snapshot series,
+//! exported as JSON (the `--metrics` flag). [`inspect`] turns a JSONL
+//! trace back into the aggregate view `airtime-cli inspect` prints.
+
+pub mod event;
+pub mod inspect;
+pub mod json;
+pub mod metrics;
+pub mod observer;
+
+pub use event::{parse_line, EventRecord, MacPhase, QueueSite, TcpPhase, TokenCause};
+pub use inspect::{summarize, summarize_file, InspectSummary};
+pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry};
+pub use observer::{JsonlObserver, MemoryObserver, NullObserver, Observer};

@@ -1,74 +1,91 @@
-//! Property tests for the PHY: error-model monotonicity and airtime
-//! arithmetic over the full input space.
+//! Randomized tests for the PHY: error-model monotonicity and airtime
+//! arithmetic over a broad, fixed-seed sample of the input space.
 
 use airtime_phy::ber::{bit_error_rate, frame_error_rate};
 use airtime_phy::{DataRate, LinkErrorModel, PathLossModel, Phy80211b};
-use proptest::prelude::*;
+use airtime_sim::SimRng;
 
-fn any_b_rate() -> impl Strategy<Value = DataRate> {
-    prop::sample::select(DataRate::ALL_B.to_vec())
+const CASES: usize = 1_000;
+
+fn pick_b_rate(rng: &mut SimRng) -> DataRate {
+    DataRate::ALL_B[rng.below(DataRate::ALL_B.len() as u64) as usize]
 }
 
-fn any_rate() -> impl Strategy<Value = DataRate> {
+fn pick_any_rate(rng: &mut SimRng) -> DataRate {
     let mut all = DataRate::ALL_B.to_vec();
     all.extend(DataRate::ALL_G);
-    prop::sample::select(all)
+    all[rng.below(all.len() as u64) as usize]
 }
 
-proptest! {
-    /// FER is a probability and monotone in SNR and size.
-    #[test]
-    fn fer_is_probability_and_monotone(
-        rate in any_b_rate(),
-        bytes in 1u64..2400,
-        snr10 in -100i32..400,
-    ) {
-        let snr = snr10 as f64 / 10.0;
+/// FER is a probability and monotone in SNR and size.
+#[test]
+fn fer_is_probability_and_monotone() {
+    let mut rng = SimRng::new(0x9117);
+    for _ in 0..CASES {
+        let rate = pick_b_rate(&mut rng);
+        let bytes = rng.range_inclusive(1, 2399);
+        let snr = rng.range_inclusive(0, 500) as f64 / 10.0 - 10.0;
         let f = frame_error_rate(rate, bytes, snr);
-        prop_assert!((0.0..=1.0).contains(&f));
-        prop_assert!(frame_error_rate(rate, bytes, snr + 0.5) <= f + 1e-12);
-        prop_assert!(frame_error_rate(rate, bytes + 1, snr) + 1e-12 >= f);
-        prop_assert!(bit_error_rate(rate, snr) <= 0.5);
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "rate={rate} bytes={bytes} snr={snr}"
+        );
+        assert!(frame_error_rate(rate, bytes, snr + 0.5) <= f + 1e-12);
+        assert!(frame_error_rate(rate, bytes + 1, snr) + 1e-12 >= f);
+        assert!(bit_error_rate(rate, snr) <= 0.5);
     }
+}
 
-    /// Exchange time dominates data time, and both scale sanely.
-    #[test]
-    fn exchange_time_composition(rate in any_rate(), bytes in 1u64..2304) {
-        let phy = Phy80211b::default();
+/// Exchange time dominates data time, and both scale sanely.
+#[test]
+fn exchange_time_composition() {
+    let mut rng = SimRng::new(0x9118);
+    let phy = Phy80211b::default();
+    for _ in 0..CASES {
+        let rate = pick_any_rate(&mut rng);
+        let bytes = rng.range_inclusive(1, 2303);
         let data = phy.data_tx_time_default(bytes, rate);
         let exch = phy.exchange_time(bytes, rate);
-        prop_assert!(exch > data);
-        prop_assert!(exch.as_nanos() - data.as_nanos() >= phy.sifs.as_nanos());
+        assert!(exch > data, "rate={rate} bytes={bytes}");
+        assert!(exch.as_nanos() - data.as_nanos() >= phy.sifs.as_nanos());
     }
+}
 
-    /// Path loss is monotone in distance and shadowing, and the
-    /// resulting link model carries exactly that SNR.
-    #[test]
-    fn path_loss_monotone(
-        d1 in 1.0f64..50.0,
-        delta in 0.1f64..50.0,
-        shadow in 0.0f64..30.0,
-    ) {
-        let m = PathLossModel::default();
+/// Path loss is monotone in distance and shadowing, and the resulting
+/// link model carries exactly that SNR.
+#[test]
+fn path_loss_monotone() {
+    let mut rng = SimRng::new(0x9119);
+    let m = PathLossModel::default();
+    for _ in 0..CASES {
+        let d1 = 1.0 + rng.unit() * 49.0;
+        let delta = 0.1 + rng.unit() * 49.9;
+        let shadow = rng.unit() * 30.0;
         let near = m.snr_db(d1, &[], 0.0);
         let far = m.snr_db(d1 + delta, &[], 0.0);
-        prop_assert!(far < near);
+        assert!(far < near, "d1={d1} delta={delta}");
         let shadowed = m.snr_db(d1, &[], shadow);
-        prop_assert!(shadowed <= near);
+        assert!(shadowed <= near);
         match m.link(d1, &[], shadow) {
             LinkErrorModel::Snr { snr_db } => {
-                prop_assert!((snr_db - shadowed).abs() < 1e-9);
+                assert!((snr_db - shadowed).abs() < 1e-9);
             }
-            other => prop_assert!(false, "unexpected model {other:?}"),
+            other => panic!("unexpected model {other:?}"),
         }
     }
+}
 
-    /// The fixed-FER model is rate- and size-independent; the ACK is
-    /// always more robust than the data frame.
-    #[test]
-    fn fixed_fer_model(fer in 0.0f64..1.0, rate in any_b_rate(), bytes in 1u64..2000) {
+/// The fixed-FER model is rate- and size-independent; the ACK is
+/// always more robust than the data frame.
+#[test]
+fn fixed_fer_model() {
+    let mut rng = SimRng::new(0x911A);
+    for _ in 0..CASES {
+        let fer = rng.unit();
+        let rate = pick_b_rate(&mut rng);
+        let bytes = rng.range_inclusive(1, 1999);
         let m = LinkErrorModel::FixedFer(fer);
-        prop_assert!((m.data_fer(rate, bytes) - fer).abs() < 1e-12);
-        prop_assert!(m.ack_fer(rate) <= fer);
+        assert!((m.data_fer(rate, bytes) - fer).abs() < 1e-12);
+        assert!(m.ack_fer(rate) <= fer);
     }
 }

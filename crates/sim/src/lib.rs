@@ -14,6 +14,9 @@
 //! - [`stats`]: counters, running mean/variance with confidence intervals,
 //!   time-weighted averages, rate meters and histograms used by every
 //!   measurement in the workspace.
+//! - [`profile`]: wall-clock profiling of the event loop itself
+//!   ([`LoopProfiler`]) — per-event-type counts and host time per
+//!   simulated second, without touching simulated state.
 //!
 //! # Examples
 //!
@@ -28,11 +31,13 @@
 //! assert_eq!(e, "first");
 //! ```
 
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use profile::LoopProfiler;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, RateMeter, RunningStats, TimeWeighted};

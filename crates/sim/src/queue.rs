@@ -60,6 +60,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     popped: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,6 +76,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -83,6 +85,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -112,6 +117,13 @@ impl<E> EventQueue<E> {
     /// a handy runaway-simulation guard).
     pub fn events_processed(&self) -> u64 {
         self.popped
+    }
+
+    /// The largest number of events ever pending at once — the queue's
+    /// high-water mark. Useful for sizing and for spotting scenarios
+    /// whose pending-event population grows without bound.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Discards all pending events.
@@ -164,6 +176,21 @@ mod tests {
         assert_eq!(q.events_processed(), 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_len() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        for i in 0..10 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.schedule(SimTime::ZERO, 0);
+        assert_eq!(q.high_water(), 10);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

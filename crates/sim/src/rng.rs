@@ -7,13 +7,48 @@
 //! seed and a stream label with a simple SplitMix64-style mix, so the
 //! whole simulation remains a pure function of one `u64` seed.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+/// The core generator: xoshiro256++ (Blackman & Vigna). Small, fast,
+/// passes BigCrush, and — crucially for this workspace — implemented
+/// in-repo so the simulation's byte-exact reproducibility never depends
+/// on an external crate's version.
+#[derive(Clone, Debug)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the full 256-bit state from a `u64` via SplitMix64, as the
+    /// xoshiro authors recommend.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(z);
+        }
+        Xoshiro256pp { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A deterministic random number generator for simulations.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
     seed: u64,
 }
 
@@ -28,7 +63,7 @@ impl SimRng {
     /// Creates a generator from a master seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from_u64(seed),
             seed,
         }
     }
@@ -48,20 +83,38 @@ impl SimRng {
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, so the draw is
+    /// exactly uniform (no modulo bias).
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.random_range(0..n)
+        let mut m = self.inner.next_u64() as u128 * n as u128;
+        let mut low = m as u64;
+        if low < n {
+            // Threshold = 2^64 mod n; reject the biased low fringe.
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                m = self.inner.next_u64() as u128 * n as u128;
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.random_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.inner.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random_range(0.0..1.0)
+        // 53 high bits → the standard dyadic-rational construction.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
@@ -71,7 +124,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random_range(0.0..1.0) < p
+            self.unit() < p
         }
     }
 

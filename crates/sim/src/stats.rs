@@ -353,6 +353,18 @@ mod tests {
     }
 
     #[test]
+    fn running_stats_single_sample() {
+        let mut s = RunningStats::new();
+        s.record(42.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
     fn time_weighted_average() {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
         tw.set(SimTime::from_secs(2), 6.0);
@@ -365,6 +377,19 @@ mod tests {
     fn time_weighted_at_start() {
         let tw = TimeWeighted::new(SimTime::from_secs(1), 3.0);
         assert_eq!(tw.average(SimTime::from_secs(1)), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_duration_holds() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        // Several changes at the same instant: the zero-duration holds
+        // contribute no weight, only the last value persists.
+        tw.set(SimTime::from_secs(1), 2.0);
+        tw.set(SimTime::from_secs(1), 3.0);
+        tw.set(SimTime::from_secs(1), 4.0);
+        // 1.0 held for 1 s, then 4.0 held for 1 s.
+        assert!((tw.average(SimTime::from_secs(2)) - 2.5).abs() < 1e-9);
+        assert_eq!(tw.current(), 4.0);
     }
 
     #[test]
@@ -407,6 +432,14 @@ mod tests {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.frac_at_least(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_out_of_range_q_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(5.0);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

@@ -1,46 +1,67 @@
-//! Property tests for the time arithmetic the whole workspace rests on.
+//! Randomized tests for the time arithmetic the whole workspace rests
+//! on. Inputs are drawn from a fixed-seed [`SimRng`], so every run
+//! exercises the same (broad) sample of the input space and failures
+//! reproduce exactly.
 
-use airtime_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use airtime_sim::{SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// for_bits never under-counts: duration x rate >= bits.
-    #[test]
-    fn for_bits_rounds_up(bits in 1u64..10_000_000, rate in 1u64..100_000_000) {
+const CASES: usize = 2_000;
+
+/// for_bits never under-counts: duration x rate >= bits.
+#[test]
+fn for_bits_rounds_up() {
+    let mut rng = SimRng::new(0xD1CE);
+    for _ in 0..CASES {
+        let bits = rng.range_inclusive(1, 10_000_000);
+        let rate = rng.range_inclusive(1, 100_000_000);
         let d = SimDuration::for_bits(bits, rate);
         let lhs = d.as_nanos() as u128 * rate as u128;
         let need = bits as u128 * 1_000_000_000;
-        prop_assert!(lhs >= need);
-        prop_assert!(lhs - need < rate as u128);
+        assert!(lhs >= need, "bits={bits} rate={rate}");
+        assert!(lhs - need < rate as u128, "bits={bits} rate={rate}");
     }
+}
 
-    /// Time/duration arithmetic round-trips.
-    #[test]
-    fn add_sub_roundtrip(t in 0u64..1_000_000_000_000, d in 0u64..1_000_000_000) {
+/// Time/duration arithmetic round-trips.
+#[test]
+fn add_sub_roundtrip() {
+    let mut rng = SimRng::new(0xD1CF);
+    for _ in 0..CASES {
+        let t = rng.below(1_000_000_000_000);
+        let d = rng.below(1_000_000_000);
         let t0 = SimTime::from_nanos(t);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t0 + dur) - t0, dur);
-        prop_assert_eq!((t0 + dur) - dur, t0);
-        prop_assert_eq!(t0.saturating_since(t0 + dur), SimDuration::ZERO);
-        prop_assert_eq!((t0 + dur).saturating_since(t0), dur);
+        assert_eq!((t0 + dur) - t0, dur);
+        assert_eq!((t0 + dur) - dur, t0);
+        assert_eq!(t0.saturating_since(t0 + dur), SimDuration::ZERO);
+        assert_eq!((t0 + dur).saturating_since(t0), dur);
     }
+}
 
-    /// Duration scaling identities.
-    #[test]
-    fn mul_div_identities(d in 0u64..1_000_000_000, k in 1u64..1000) {
+/// Duration scaling identities.
+#[test]
+fn mul_div_identities() {
+    let mut rng = SimRng::new(0xD1D0);
+    for _ in 0..CASES {
+        let d = rng.below(1_000_000_000);
+        let k = rng.range_inclusive(1, 999);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((dur * k) / k, dur);
-        prop_assert!(dur.mul_f64(1.0) == dur);
+        assert_eq!((dur * k) / k, dur);
+        assert!(dur.mul_f64(1.0) == dur);
         let doubled = dur.mul_f64(2.0);
-        prop_assert_eq!(doubled, dur * 2);
+        assert_eq!(doubled, dur * 2);
     }
+}
 
-    /// from_secs_f64 and as_secs_f64 are inverse within rounding.
-    #[test]
-    fn secs_roundtrip(ns in 0u64..1_000_000_000_000) {
+/// from_secs_f64 and as_secs_f64 are inverse within rounding.
+#[test]
+fn secs_roundtrip() {
+    let mut rng = SimRng::new(0xD1D1);
+    for _ in 0..CASES {
+        let ns = rng.below(1_000_000_000_000);
         let d = SimDuration::from_nanos(ns);
         let back = SimDuration::from_secs_f64(d.as_secs_f64());
         let diff = back.as_nanos().abs_diff(d.as_nanos());
-        prop_assert!(diff <= 1 + ns / (1 << 40), "ns={ns} diff={diff}");
+        assert!(diff <= 1 + ns / (1 << 40), "ns={ns} diff={diff}");
     }
 }

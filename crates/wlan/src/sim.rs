@@ -24,8 +24,12 @@ use airtime_net::{
     FlowId, Packet, PacketKind, RateLimiter, ReceiverEffect, SenderEffect, TcpReceiver, TcpSender,
     UdpConfig, UdpSource,
 };
+use airtime_obs::{
+    CounterId, EventRecord, GaugeId, HistId, MacPhase, MetricsRegistry, NullObserver, Observer,
+    QueueSite, TcpPhase, TokenCause,
+};
 use airtime_phy::{Arf, DataRate, LinkErrorModel};
-use airtime_sim::{EventQueue, Histogram, RateMeter, SimDuration, SimRng, SimTime};
+use airtime_sim::{EventQueue, Histogram, LoopProfiler, RateMeter, SimDuration, SimRng, SimTime};
 use airtime_trace::{FrameRecord, Trace};
 
 use crate::config::{Direction, LinkSpec, NetworkConfig, Regulate, SchedulerKind, Transport};
@@ -132,8 +136,40 @@ struct FlowRt {
     pump_pending: bool,
 }
 
-struct Sim<'c> {
+/// How often the metrics registry snapshots its counters and gauges
+/// into the exported time-series.
+const METRICS_PERIOD: SimDuration = SimDuration::from_millis(100);
+
+/// Metric handles plus snapshot/profiling state, present only when the
+/// caller supplied a [`MetricsRegistry`].
+struct Instr<'m> {
+    reg: &'m mut MetricsRegistry,
+    next_snapshot: SimTime,
+    next_lap: SimTime,
+    profiler: LoopProfiler,
+    // Counters mirrored from cumulative simulator state at snapshots.
+    attempts: CounterId,
+    collisions: CounterId,
+    retries: CounterId,
+    delivered: CounterId,
+    dropped: CounterId,
+    sched_drops: CounterId,
+    events: CounterId,
+    tcp_retransmits: CounterId,
+    tcp_timeouts: CounterId,
+    queue_len: GaugeId,
+    queue_high_water: GaugeId,
+    // Per-station airtime shares, indexed by station.
+    shares: Vec<GaugeId>,
+    // Per-scheduler-key TBR token balances (empty for non-TBR runs).
+    tokens: Vec<GaugeId>,
+    attempt_airtime: HistId,
+}
+
+struct Sim<'c, O: Observer> {
     cfg: &'c NetworkConfig,
+    obs: &'c mut O,
+    instr: Option<Instr<'c>>,
     now: SimTime,
     queue: EventQueue<Event>,
     mac: DcfWorld,
@@ -162,10 +198,39 @@ struct Sim<'c> {
 /// Panics on malformed configs (no stations, zero duration, warm-up
 /// longer than the run).
 pub fn run(cfg: &NetworkConfig) -> Report {
+    run_observed(cfg, &mut NullObserver)
+}
+
+/// Like [`run`], but streams structured events into `obs`. With a
+/// [`NullObserver`] this is exactly [`run`] (the hooks monomorphise
+/// away and the RNG stream is untouched either way).
+///
+/// The caller owns the observer's lifecycle: call `obs.finish()`
+/// afterwards to flush buffers and surface any write error.
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_observed<O: Observer>(cfg: &NetworkConfig, obs: &mut O) -> Report {
+    run_instrumented(cfg, obs, None)
+}
+
+/// Full instrumentation: events into `obs` and, when `metrics` is
+/// given, counters/gauges/histograms snapshotted every
+/// [`METRICS_PERIOD`] of simulated time plus event-loop profiling.
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_instrumented<O: Observer>(
+    cfg: &NetworkConfig,
+    obs: &mut O,
+    metrics: Option<&mut MetricsRegistry>,
+) -> Report {
     assert!(!cfg.stations.is_empty(), "need at least one station");
     assert!(!cfg.duration.is_zero(), "duration must be positive");
     assert!(cfg.warmup < cfg.duration, "warm-up must precede the end");
-    let mut sim = Sim::new(cfg);
+    let mut sim = Sim::new(cfg, obs, metrics);
     sim.queue
         .schedule(SimTime::ZERO + cfg.warmup, Event::WarmupDone);
     if let Some(p) = sim.sched.tick_period() {
@@ -181,16 +246,44 @@ pub fn run(cfg: &NetworkConfig) -> Report {
             break;
         }
         sim.now = t;
+        if sim.instr.is_some() {
+            sim.profile_event(&ev);
+        }
         sim.dispatch(ev);
         sim.pump_all();
         sim.kick_all();
+        if sim.instr.is_some() {
+            sim.advance_instr();
+        }
     }
     sim.now = end;
+    sim.finish_instr();
     sim.report()
 }
 
-impl<'c> Sim<'c> {
-    fn new(cfg: &'c NetworkConfig) -> Self {
+/// Static label for the profiler's per-event-type counts.
+fn event_label(ev: &Event) -> &'static str {
+    match ev {
+        Event::Mac(MacEvent::AccessResolved { .. }) => "mac.access_resolved",
+        Event::Mac(MacEvent::TxEnd) => "mac.tx_end",
+        Event::Mac(MacEvent::DeferExpired { .. }) => "mac.defer_expired",
+        Event::WiredToAp(_) => "wired_to_ap",
+        Event::WiredToHost(_) => "wired_to_host",
+        Event::RtoFired { .. } => "tcp.rto",
+        Event::DelAckFired { .. } => "tcp.delack",
+        Event::SchedTick => "sched.tick",
+        Event::Pump { .. } => "pump",
+        Event::StartFlow { .. } => "start_flow",
+        Event::WarmupDone => "warmup_done",
+    }
+}
+
+impl<'c, O: Observer> Sim<'c, O> {
+    fn new(
+        cfg: &'c NetworkConfig,
+        obs: &'c mut O,
+        metrics: Option<&'c mut MetricsRegistry>,
+    ) -> Self {
         let n = cfg.stations.len();
         let mut links = vec![LinkErrorModel::Perfect; n + 1];
         let mut arf = vec![None; n + 1];
@@ -218,7 +311,7 @@ impl<'c> Sim<'c> {
             }
         }
         let rng = SimRng::new(cfg.seed);
-        let mac = DcfWorld::new(
+        let mut mac = DcfWorld::new(
             DcfConfig {
                 phy: cfg.phy,
                 ap: AP,
@@ -228,6 +321,9 @@ impl<'c> Sim<'c> {
             links,
             rng.substream(1),
         );
+        // Backoff draws happen either way; this only controls whether
+        // the MAC reports them as effects.
+        mac.set_emit_backoff(obs.active());
         let mut sched = match &cfg.scheduler {
             SchedulerKind::Fifo => Sched::Fifo(FifoScheduler::default()),
             SchedulerKind::RoundRobin => Sched::Rr(RoundRobinScheduler::default()),
@@ -298,8 +394,51 @@ impl<'c> Sim<'c> {
                 }
             }
         }
+        let key_count = match cfg.regulate {
+            Regulate::PerStation => n,
+            Regulate::PerFlow => flows.len(),
+        };
+        let is_tbr = matches!(sched, Sched::Tbr(_));
+        let instr = metrics.map(|reg| {
+            reg.set_meta("seed", &cfg.seed.to_string());
+            reg.set_meta("scheduler", &format!("{:?}", cfg.scheduler));
+            reg.set_meta("stations", &n.to_string());
+            reg.set_meta("duration_s", &format!("{}", cfg.duration.as_secs_f64()));
+            let shares = (0..n)
+                .map(|s| reg.gauge(&format!("station.{s}.airtime_share")))
+                .collect();
+            let tokens = if is_tbr {
+                (0..key_count)
+                    .map(|k| reg.gauge(&format!("tbr.{k}.tokens_us")))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Instr {
+                next_snapshot: SimTime::ZERO + METRICS_PERIOD,
+                next_lap: SimTime::from_secs(1),
+                profiler: LoopProfiler::new(),
+                attempts: reg.counter("mac.attempts"),
+                collisions: reg.counter("mac.collisions"),
+                retries: reg.counter("mac.retries"),
+                delivered: reg.counter("mac.delivered"),
+                dropped: reg.counter("mac.dropped"),
+                sched_drops: reg.counter("sched.drops"),
+                events: reg.counter("sim.events"),
+                tcp_retransmits: reg.counter("tcp.retransmits"),
+                tcp_timeouts: reg.counter("tcp.timeouts"),
+                queue_len: reg.gauge("sim.queue_len"),
+                queue_high_water: reg.gauge("sim.queue_high_water"),
+                shares,
+                tokens,
+                attempt_airtime: reg.histogram("mac.attempt_airtime_us", 0.0, 20_000.0, 100),
+                reg,
+            }
+        });
         Sim {
             cfg,
+            obs,
+            instr,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             mac,
@@ -347,6 +486,195 @@ impl<'c> Sim<'c> {
         h
     }
 
+    /// Number of scheduler keys (stations or flows, per `cfg.regulate`).
+    fn key_count(&self) -> usize {
+        match self.cfg.regulate {
+            Regulate::PerStation => self.cfg.stations.len(),
+            Regulate::PerFlow => self.flows.len(),
+        }
+    }
+
+    // -- instrumentation -------------------------------------------------
+    //
+    // Everything below reads simulator state but never mutates it (and
+    // never touches the RNG), so instrumented runs follow exactly the
+    // same trajectory as plain ones.
+
+    fn profile_event(&mut self, ev: &Event) {
+        if let Some(instr) = self.instr.as_mut() {
+            instr.profiler.count(event_label(ev));
+        }
+    }
+
+    /// Takes any due metric snapshots and wall-clock laps.
+    fn advance_instr(&mut self) {
+        let now = self.now;
+        if let Some(instr) = self.instr.as_mut() {
+            while now >= instr.next_lap {
+                instr.profiler.lap();
+                instr.next_lap += SimDuration::from_secs(1);
+            }
+        }
+        while self.instr.as_ref().is_some_and(|i| now >= i.next_snapshot) {
+            let at = self.instr.as_ref().unwrap().next_snapshot;
+            self.mirror_metrics();
+            let instr = self.instr.as_mut().unwrap();
+            instr.reg.snapshot(at);
+            instr.next_snapshot = at + METRICS_PERIOD;
+        }
+    }
+
+    /// Copies cumulative simulator state into the registry's counters
+    /// and gauges.
+    fn mirror_metrics(&mut self) {
+        if self.instr.is_none() {
+            return;
+        }
+        let stats = self.mac.stats();
+        let sched_drops = self.sched.drops();
+        let qlen = self.queue.len();
+        let qhw = self.queue.high_water();
+        let events = self.queue.events_processed();
+        let (mut retransmits, mut timeouts) = (0u64, 0u64);
+        for f in &self.flows {
+            if let Some(tx) = f.tcp_tx.as_ref() {
+                let (_, r, t) = tx.stats();
+                retransmits += r;
+                timeouts += t;
+            }
+        }
+        let n = self.cfg.stations.len();
+        // Warm-up airtime is excluded once WarmupDone has latched the
+        // baseline, matching the report's occupancy shares.
+        let occ: Vec<f64> = (0..n)
+            .map(|st| {
+                let node = st + 1;
+                self.mac
+                    .occupancy(NodeId(node))
+                    .saturating_sub(self.occupancy_at_warmup[node])
+                    .as_secs_f64()
+            })
+            .collect();
+        let occ_total: f64 = occ.iter().sum();
+        let token_count = self.instr.as_ref().map_or(0, |i| i.tokens.len());
+        let token_vals: Vec<f64> = (0..token_count)
+            .map(|k| {
+                self.sched
+                    .as_tbr()
+                    .and_then(|t| t.tokens_of(ClientId(k)))
+                    .unwrap_or(0.0)
+                    / 1e3
+            })
+            .collect();
+        let instr = self.instr.as_mut().expect("checked above");
+        instr.reg.set_counter(instr.attempts, stats.attempts);
+        instr
+            .reg
+            .set_counter(instr.collisions, stats.collision_events);
+        instr.reg.set_counter(instr.retries, stats.retries);
+        instr.reg.set_counter(instr.delivered, stats.delivered);
+        instr.reg.set_counter(instr.dropped, stats.dropped);
+        instr.reg.set_counter(instr.sched_drops, sched_drops);
+        instr.reg.set_counter(instr.events, events);
+        instr.reg.set_counter(instr.tcp_retransmits, retransmits);
+        instr.reg.set_counter(instr.tcp_timeouts, timeouts);
+        instr.reg.set(instr.queue_len, qlen as f64);
+        instr.reg.set(instr.queue_high_water, qhw as f64);
+        for (&id, &o) in instr.shares.iter().zip(&occ) {
+            let share = if occ_total > 0.0 { o / occ_total } else { 0.0 };
+            instr.reg.set(id, share);
+        }
+        for (&id, &v) in instr.tokens.iter().zip(&token_vals) {
+            instr.reg.set(id, v);
+        }
+    }
+
+    /// Final snapshot plus the event-loop profile.
+    fn finish_instr(&mut self) {
+        if self.instr.is_none() {
+            return;
+        }
+        self.mirror_metrics();
+        let end = self.now;
+        let events = self.queue.events_processed();
+        let instr = self.instr.as_mut().expect("checked above");
+        instr.reg.snapshot(end);
+        let counts: Vec<(&'static str, u64)> = instr.profiler.counts().to_vec();
+        for (label, n) in counts {
+            let id = instr.reg.counter(&format!("profile.events.{label}"));
+            instr.reg.set_counter(id, n);
+        }
+        let wall = instr.profiler.wall_total().as_secs_f64();
+        let id = instr.reg.gauge("profile.wall_s");
+        instr.reg.set(id, wall);
+        if let Some(per_lap) = instr.profiler.secs_per_lap() {
+            let id = instr.reg.gauge("profile.wall_per_sim_s");
+            instr.reg.set(id, per_lap);
+        }
+        let id = instr.reg.gauge("profile.events_per_wall_s");
+        let rate = if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        };
+        instr.reg.set(id, rate);
+    }
+
+    // -- observer emission helpers ---------------------------------------
+
+    fn emit_ap_queue(&mut self, key: ClientId) {
+        if self.obs.active() {
+            let len = self.sched.queue_len(key) as u64;
+            self.obs.on_queue_change(EventRecord::QueueChange {
+                t: self.now,
+                site: QueueSite::Ap,
+                key: key.index() as u64,
+                len,
+            });
+        }
+    }
+
+    fn emit_client_queue(&mut self, node: usize) {
+        if self.obs.active() {
+            self.obs.on_queue_change(EventRecord::QueueChange {
+                t: self.now,
+                site: QueueSite::Client,
+                key: node as u64,
+                len: self.client_q[node].len() as u64,
+            });
+        }
+    }
+
+    fn emit_tokens(&mut self, key: ClientId, cause: TokenCause) {
+        if self.obs.active() {
+            if let Some(tbr) = self.sched.as_tbr() {
+                if let (Some(tokens), Some(rate)) = (tbr.tokens_of(key), tbr.rate_of(key)) {
+                    self.obs.on_token_update(EventRecord::TokenUpdate {
+                        t: self.now,
+                        client: key.index() as u64,
+                        tokens_us: tokens / 1e3,
+                        rate,
+                        cause,
+                    });
+                }
+            }
+        }
+    }
+
+    fn emit_tcp(&mut self, flow: usize, phase: TcpPhase) {
+        if self.obs.active() {
+            if let Some(tx) = self.flows[flow].tcp_tx.as_ref() {
+                self.obs.on_tcp_event(EventRecord::Tcp {
+                    t: self.now,
+                    flow: flow as u64,
+                    phase,
+                    cwnd: tx.cwnd(),
+                    flight: tx.flight(),
+                });
+            }
+        }
+    }
+
     // -- event dispatch ------------------------------------------------
 
     fn dispatch(&mut self, ev: Event) {
@@ -360,8 +688,16 @@ impl<'c> Sim<'c> {
             Event::RtoFired { flow, generation } => {
                 let now = self.now;
                 let mut fx = Vec::new();
-                if let Some(tx) = self.flows[flow].tcp_tx.as_mut() {
-                    tx.on_rto_fired(now, generation, &mut fx);
+                let fired = match self.flows[flow].tcp_tx.as_mut() {
+                    Some(tx) => {
+                        let before = tx.stats().2;
+                        tx.on_rto_fired(now, generation, &mut fx);
+                        tx.stats().2 > before
+                    }
+                    None => false,
+                };
+                if fired {
+                    self.emit_tcp(flow, TcpPhase::Rto);
                 }
                 self.apply_sender_effects(flow, fx);
             }
@@ -374,6 +710,11 @@ impl<'c> Sim<'c> {
             }
             Event::SchedTick => {
                 self.sched.on_tick(self.now);
+                if self.obs.active() {
+                    for k in 0..self.key_count() {
+                        self.emit_tokens(ClientId(k), TokenCause::Fill);
+                    }
+                }
                 if let Some(p) = self.sched.tick_period() {
                     self.queue.schedule(self.now + p, Event::SchedTick);
                 }
@@ -395,15 +736,67 @@ impl<'c> Sim<'c> {
     }
 
     fn apply_mac_effects(&mut self, effects: Vec<MacEffect>) {
+        if self.obs.active() {
+            // One collision record per busy period: the MAC reports a
+            // colliding attempt for each involved station in the same
+            // effects batch.
+            let mut stations = 0u64;
+            let mut max_air = SimDuration::ZERO;
+            for e in &effects {
+                if let MacEffect::Attempt {
+                    collision: true,
+                    airtime,
+                    ..
+                } = e
+                {
+                    stations += 1;
+                    max_air = max_air.max(*airtime);
+                }
+            }
+            if stations >= 2 {
+                self.obs.on_collision(EventRecord::Collision {
+                    t: self.now,
+                    stations,
+                    airtime: max_air,
+                });
+            }
+        }
         for e in effects {
             match e {
                 MacEffect::Schedule { at, event } => self.queue.schedule(at, Event::Mac(event)),
+                MacEffect::BackoffDrawn { node, slots, cw } => {
+                    if self.obs.active() {
+                        self.obs.on_backoff(EventRecord::Backoff {
+                            t: self.now,
+                            node: node.index() as u64,
+                            slots: slots as u64,
+                            cw: cw as u64,
+                        });
+                    }
+                }
                 MacEffect::Attempt {
                     frame,
                     success,
                     collision,
-                    airtime: _,
+                    airtime,
+                    retry,
                 } => {
+                    if self.obs.active() {
+                        self.obs.on_tx_attempt(EventRecord::TxAttempt {
+                            t: self.now,
+                            node: frame.src.index() as u64,
+                            bytes: frame.msdu_bytes,
+                            rate_mbps: frame.rate.mbps(),
+                            success,
+                            retry: retry as u64,
+                            airtime,
+                        });
+                    }
+                    if let Some(instr) = self.instr.as_mut() {
+                        instr
+                            .reg
+                            .observe(instr.attempt_airtime, airtime.as_secs_f64() * 1e6);
+                    }
                     let node = client_node(&frame);
                     if frame.src == AP && !collision {
                         // Downlink attempts reveal the link's loss rate
@@ -433,7 +826,20 @@ impl<'c> Sim<'c> {
                     frame,
                     outcome,
                     airtime_total,
-                } => self.on_tx_final(frame, outcome, airtime_total),
+                } => {
+                    if self.obs.active() {
+                        let phase = match outcome {
+                            FrameOutcome::Delivered => MacPhase::TxEnd,
+                            FrameOutcome::Dropped => MacPhase::Drop,
+                        };
+                        self.obs.on_mac_event(EventRecord::Mac {
+                            t: self.now,
+                            phase,
+                            node: frame.src.index() as u64,
+                        });
+                    }
+                    self.on_tx_final(frame, outcome, airtime_total)
+                }
             }
         }
     }
@@ -471,6 +877,7 @@ impl<'c> Sim<'c> {
                     if let Some(tx) = self.flows[flow].tcp_tx.as_mut() {
                         tx.on_ack(now, ack_seq, &mut fx);
                     }
+                    self.emit_tcp(flow, TcpPhase::Ack);
                     self.apply_sender_effects(flow, fx);
                 }
                 PacketKind::UdpData { .. } => {
@@ -507,6 +914,7 @@ impl<'c> Sim<'c> {
             }
         };
         self.sched.on_complete(key, airtime, sent_by_ap, self.now);
+        self.emit_tokens(key, TokenCause::Debit);
         // Optional §4.1 client cooperation: a client with a negative
         // balance is told (via the piggybacked notification bit) to
         // defer for the time its deficit takes to refill.
@@ -536,6 +944,8 @@ impl<'c> Sim<'c> {
         };
         if self.sched.enqueue(q, self.now) == EnqueueOutcome::Dropped {
             self.in_transit.remove(&handle);
+        } else {
+            self.emit_ap_queue(key);
         }
     }
 
@@ -559,6 +969,7 @@ impl<'c> Sim<'c> {
                 if let Some(tx) = self.flows[flow].tcp_tx.as_mut() {
                     tx.on_ack(now, ack_seq, &mut fx);
                 }
+                self.emit_tcp(flow, TcpPhase::Ack);
                 self.apply_sender_effects(flow, fx);
             }
             PacketKind::UdpData { .. } => {
@@ -591,6 +1002,7 @@ impl<'c> Sim<'c> {
                 SenderEffect::Complete => {
                     let started = self.flows[flow].start;
                     self.flows[flow].completion = Some(self.now.saturating_since(started));
+                    self.emit_tcp(flow, TcpPhase::Done);
                 }
             }
         }
@@ -613,6 +1025,7 @@ impl<'c> Sim<'c> {
                             let node = f.station + 1;
                             if self.client_q[node].len() < self.cfg.client_queue_cap {
                                 self.client_q[node].push_back((ack, self.now));
+                                self.emit_client_queue(node);
                             }
                         }
                         // Uplink data → host-side receiver → ack crosses
@@ -658,15 +1071,22 @@ impl<'c> Sim<'c> {
         let node = self.flows[flow].station + 1;
         let now = self.now;
         let mut fx = Vec::new();
+        let mut pushed = false;
         while self.client_q[node].len() < self.cfg.client_queue_cap {
             let pkt = match self.flows[flow].tcp_tx.as_mut() {
                 Some(tx) => tx.poll_packet(now, &mut fx),
                 None => None,
             };
             match pkt {
-                Some(p) => self.client_q[node].push_back((p, now)),
+                Some(p) => {
+                    self.client_q[node].push_back((p, now));
+                    pushed = true;
+                }
                 None => break,
             }
+        }
+        if pushed {
+            self.emit_client_queue(node);
         }
         self.apply_sender_effects(flow, fx);
         if let Some(at) = self.flows[flow]
@@ -707,15 +1127,22 @@ impl<'c> Sim<'c> {
     fn pump_udp_uplink(&mut self, flow: usize) {
         let node = self.flows[flow].station + 1;
         let now = self.now;
+        let mut pushed = false;
         while self.client_q[node].len() < self.cfg.client_queue_cap {
             let pkt = match self.flows[flow].udp.as_mut() {
                 Some(u) => u.poll_packet(now),
                 None => None,
             };
             match pkt {
-                Some(p) => self.client_q[node].push_back((p, now)),
+                Some(p) => {
+                    self.client_q[node].push_back((p, now));
+                    pushed = true;
+                }
                 None => break,
             }
+        }
+        if pushed {
+            self.emit_client_queue(node);
         }
         if let Some(at) = self.flows[flow]
             .udp
@@ -732,6 +1159,7 @@ impl<'c> Sim<'c> {
         // Back-pressure: keep the AP queue for this client primed but
         // never blind-feed a full buffer (a saturating source would
         // otherwise generate unbounded work).
+        let mut pushed = false;
         while self.sched.queue_len(key) < 40 {
             let pkt = match self.flows[flow].udp.as_mut() {
                 Some(u) => u.poll_packet(now),
@@ -751,9 +1179,13 @@ impl<'c> Sim<'c> {
                         self.in_transit.remove(&handle);
                         break;
                     }
+                    pushed = true;
                 }
                 None => break,
             }
+        }
+        if pushed {
+            self.emit_ap_queue(key);
         }
         if let Some(at) = self.flows[flow]
             .udp
@@ -768,6 +1200,14 @@ impl<'c> Sim<'c> {
         // AP: MACTXEVENT — feed one frame whenever the AP MAC is idle.
         if self.mac.can_accept(AP) {
             if let Some(q) = self.sched.dequeue(self.now) {
+                if self.obs.active() {
+                    self.obs.on_sched_decision(EventRecord::SchedDecision {
+                        t: self.now,
+                        client: q.client.index() as u64,
+                        bytes: q.bytes,
+                        queue_len: self.sched.queue_len(q.client) as u64,
+                    });
+                }
                 let station = self.station_of_key(q.client);
                 let node = station + 1;
                 let frame = Frame {
@@ -788,6 +1228,7 @@ impl<'c> Sim<'c> {
         for node in 1..self.client_q.len() {
             if self.mac.can_accept(NodeId(node)) {
                 if let Some((pkt, born)) = self.client_q[node].pop_front() {
+                    self.emit_client_queue(node);
                     let handle = self.new_handle(pkt, born);
                     let frame = Frame {
                         src: NodeId(node),

@@ -1,0 +1,117 @@
+//! End-to-end checks of the observability layer: observed runs must not
+//! perturb the simulation, traces must round-trip through JSONL, and
+//! the metrics export must carry the airtime story.
+
+use airtime_obs::{
+    parse_line, summarize, EventRecord, JsonlObserver, MemoryObserver, MetricsRegistry,
+    NullObserver,
+};
+use airtime_phy::DataRate;
+use airtime_sim::SimDuration;
+use airtime_wlan::{run, run_instrumented, run_observed, scenarios, SchedulerKind};
+
+fn short_cfg(sched: SchedulerKind) -> airtime_wlan::NetworkConfig {
+    let mut cfg = scenarios::uploaders(&[DataRate::B11, DataRate::B1], sched);
+    cfg.duration = SimDuration::from_secs(4);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg
+}
+
+#[test]
+fn observed_run_matches_plain_run_exactly() {
+    let cfg = short_cfg(SchedulerKind::tbr());
+    let plain = run(&cfg);
+    let mut mem = MemoryObserver::new();
+    let observed = run_observed(&cfg, &mut mem);
+    // Same RNG stream, same event order: the reports agree bit-for-bit.
+    assert_eq!(plain.total_goodput_mbps, observed.total_goodput_mbps);
+    assert_eq!(plain.mac.collision_events, observed.mac.collision_events);
+    assert_eq!(plain.mac.retries, observed.mac.retries);
+    for (p, o) in plain.flows.iter().zip(&observed.flows) {
+        assert_eq!(p.goodput_mbps, o.goodput_mbps);
+    }
+    for (p, o) in plain.nodes.iter().zip(&observed.nodes) {
+        assert_eq!(p.occupancy_share, o.occupancy_share);
+    }
+    assert!(!mem.events.is_empty());
+}
+
+#[test]
+fn metrics_registry_does_not_perturb_the_run() {
+    let cfg = short_cfg(SchedulerKind::tbr());
+    let plain = run(&cfg);
+    let mut reg = MetricsRegistry::new();
+    let instrumented = run_instrumented(&cfg, &mut NullObserver, Some(&mut reg));
+    assert_eq!(plain.total_goodput_mbps, instrumented.total_goodput_mbps);
+    assert_eq!(
+        plain.mac.collision_events,
+        instrumented.mac.collision_events
+    );
+    // The registry mirrors the report's DCF counters.
+    assert_eq!(
+        reg.counter_value("mac.collisions"),
+        Some(plain.mac.collision_events)
+    );
+    assert_eq!(reg.counter_value("mac.retries"), Some(plain.mac.retries));
+    assert!(reg.snapshot_count() > 10, "periodic snapshots recorded");
+    // Per-station airtime shares are exported as gauges.
+    for (s, node) in plain.nodes.iter().enumerate() {
+        let g = reg
+            .gauge_value(&format!("station.{s}.airtime_share"))
+            .unwrap();
+        assert!((g - node.occupancy_share).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn tbr_trace_contains_every_record_family_and_round_trips() {
+    let cfg = short_cfg(SchedulerKind::tbr());
+    let mut obs = JsonlObserver::new(Vec::new());
+    let _ = run_observed(&cfg, &mut obs);
+    let buf = obs.into_inner().unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1000, "a 4 s run emits plenty of records");
+
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut last_t = None;
+    for line in &lines {
+        let rec = parse_line(line).unwrap();
+        kinds.insert(rec.kind());
+        // Reserialising parses back to the same record.
+        assert_eq!(parse_line(&rec.to_json_line()).unwrap(), rec);
+        if let Some(prev) = last_t {
+            assert!(rec.time() >= prev, "records are time-ordered");
+        }
+        last_t = Some(rec.time());
+    }
+    for kind in [
+        "mac",
+        "tx_attempt",
+        "collision",
+        "backoff",
+        "sched_decision",
+        "token_update",
+        "tcp",
+        "queue_change",
+    ] {
+        assert!(kinds.contains(kind), "missing record kind {kind}");
+    }
+
+    let summary = summarize(lines.iter().copied());
+    assert_eq!(summary.total, lines.len() as u64);
+    assert_eq!(summary.malformed, 0);
+    assert!(summary.collisions > 0);
+    assert!(!summary.tokens.is_empty(), "TBR token timelines present");
+}
+
+#[test]
+fn fifo_trace_has_no_token_updates() {
+    let cfg = short_cfg(SchedulerKind::Fifo);
+    let mut mem = MemoryObserver::new();
+    let _ = run_observed(&cfg, &mut mem);
+    assert!(!mem
+        .events
+        .iter()
+        .any(|e| matches!(e, EventRecord::TokenUpdate { .. })));
+}

@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! airtime-cli run --rates 11,1 --sched tbr --direction up --secs 20
+//! airtime-cli run --rates 11,1 --sched tbr --events e.jsonl --metrics m.json
+//! airtime-cli inspect e.jsonl
 //! airtime-cli predict --rates 11,2,1
 //! airtime-cli --help
 //! ```
@@ -10,16 +12,21 @@
 //! (The per-paper tables and figures have dedicated binaries in
 //! `airtime-bench`; this tool is for ad-hoc configurations.)
 
+use std::path::PathBuf;
+
 use airtime::model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
+use airtime::obs::json::{array_f64, Obj};
+use airtime::obs::{JsonlObserver, MetricsRegistry, NullObserver, Observer};
 use airtime::phy::DataRate;
 use airtime::sim::SimDuration;
-use airtime::wlan::{run, scenarios, Direction, SchedulerKind};
+use airtime::wlan::{run, run_instrumented, scenarios, Direction, Report, SchedulerKind};
 
 const HELP: &str = "airtime-cli — multi-rate WLAN fairness experiments
 
 USAGE:
-    airtime-cli run [OPTIONS]      simulate a cell and print the report
-    airtime-cli predict [OPTIONS]  analytic RF/TF predictions (Eqs 6/12)
+    airtime-cli run [OPTIONS]       simulate a cell and print the report
+    airtime-cli inspect <events>    summarize a JSONL event trace
+    airtime-cli predict [OPTIONS]   analytic RF/TF predictions (Eqs 6/12)
 
 OPTIONS (run):
     --rates <list>      comma-separated Mbit/s per station from
@@ -28,6 +35,10 @@ OPTIONS (run):
     --direction <dir>   up | down                             [default: up]
     --secs <n>          simulated seconds                     [default: 20]
     --seed <n>          RNG seed                              [default: 1]
+    --events <path>     stream structured events to a JSONL trace
+    --metrics <path>    export counters/gauges/histograms + time series
+                        as JSON (implies instrumentation)
+    --json              print the report as JSON instead of a table
 
 OPTIONS (predict):
     --rates <list>      as above
@@ -66,6 +77,11 @@ struct Args {
     direction: Direction,
     secs: u64,
     seed: u64,
+    events: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    json: bool,
+    /// Positional argument (the trace path for `inspect`).
+    positional: Option<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -79,6 +95,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         direction: Direction::Uplink,
         secs: 20,
         seed: 1,
+        events: None,
+        metrics: None,
+        json: false,
+        positional: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -103,18 +123,48 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             }
             "--secs" => args.secs = value()?.parse().map_err(|e| format!("bad --secs: {e}"))?,
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--events" => args.events = Some(PathBuf::from(value()?)),
+            "--metrics" => args.metrics = Some(PathBuf::from(value()?)),
+            "--json" => args.json = true,
+            other if !other.starts_with('-') && args.positional.is_none() => {
+                args.positional = Some(other.to_string());
+            }
             other => return Err(format!("unknown option '{other}'; try --help")),
         }
     }
     Ok((cmd, args))
 }
 
-fn cmd_run(a: &Args) {
+fn cmd_run(a: &Args) -> Result<(), String> {
     let mut cfg = scenarios::tcp_stations(&a.rates, a.direction, a.sched.clone());
     cfg.duration = SimDuration::from_secs(a.secs);
     cfg.warmup = SimDuration::from_secs((a.secs / 8).max(1));
     cfg.seed = a.seed;
-    let r = run(&cfg);
+
+    let mut registry = (a.metrics.is_some()).then(MetricsRegistry::new);
+    let r = match &a.events {
+        Some(path) => {
+            let mut obs = JsonlObserver::create(path)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?;
+            let r = run_instrumented(&cfg, &mut obs, registry.as_mut());
+            obs.finish()
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            r
+        }
+        None => match registry.as_mut() {
+            Some(reg) => run_instrumented(&cfg, &mut NullObserver, Some(reg)),
+            None => run(&cfg),
+        },
+    };
+    if let (Some(path), Some(reg)) = (&a.metrics, &registry) {
+        std::fs::write(path, reg.to_json() + "\n")
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    if a.json {
+        println!("{}", report_json(a, &r));
+        return Ok(());
+    }
     println!(
         "{} stations, {:?} TCP, {:?} s simulated\n",
         a.rates.len(),
@@ -141,6 +191,53 @@ fn cmd_run(a: &Args) {
         r.mac.collision_events,
         r.sched_drops
     );
+    Ok(())
+}
+
+/// The run report as one JSON object (the `--json` output).
+fn report_json(a: &Args, r: &Report) -> String {
+    let mut flows = String::from("[");
+    for (i, f) in r.flows.iter().enumerate() {
+        if i > 0 {
+            flows.push(',');
+        }
+        let mut o = Obj::new();
+        o.u64("station", f.station as u64)
+            .str("rate", &a.rates[f.station].to_string())
+            .f64("goodput_mbps", f.goodput_mbps)
+            .f64("occupancy_share", r.nodes[f.station].occupancy_share);
+        match f.latency_p50_ms {
+            Some(l) => o.f64("latency_p50_ms", l),
+            None => o.raw("latency_p50_ms", "null"),
+        };
+        flows.push_str(&o.finish());
+    }
+    flows.push(']');
+    let occupancy: Vec<f64> = r.nodes.iter().map(|n| n.occupancy_share).collect();
+    let mut o = Obj::new();
+    o.u64("seed", a.seed)
+        .u64("secs", a.secs)
+        .str("direction", &format!("{:?}", a.direction))
+        .str("scheduler", &format!("{:?}", a.sched))
+        .raw("flows", &flows)
+        .raw("occupancy_shares", &array_f64(&occupancy))
+        .f64("total_goodput_mbps", r.total_goodput_mbps)
+        .f64("utilization", r.utilization)
+        .u64("mac_collisions", r.mac.collision_events)
+        .u64("mac_retries", r.mac.retries)
+        .u64("sched_drops", r.sched_drops);
+    o.finish()
+}
+
+fn cmd_inspect(a: &Args) -> Result<(), String> {
+    let path = a
+        .positional
+        .as_deref()
+        .ok_or("inspect needs a trace path: airtime-cli inspect <events.jsonl>")?;
+    let summary = airtime::obs::summarize_file(std::path::Path::new(path))
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    print!("{summary}");
+    Ok(())
 }
 
 fn cmd_predict(a: &Args) {
@@ -188,14 +285,24 @@ fn main() {
     let mut argv = std::env::args();
     let _ = argv.next(); // program name
     match parse_args(argv) {
-        Ok((cmd, args)) => match cmd.as_str() {
-            "run" => cmd_run(&args),
-            "predict" => cmd_predict(&args),
-            other => {
-                eprintln!("unknown command '{other}'\n{HELP}");
-                std::process::exit(2);
+        Ok((cmd, args)) => {
+            let result = match cmd.as_str() {
+                "run" => cmd_run(&args),
+                "inspect" => cmd_inspect(&args),
+                "predict" => {
+                    cmd_predict(&args);
+                    Ok(())
+                }
+                other => {
+                    eprintln!("unknown command '{other}'\n{HELP}");
+                    std::process::exit(2);
+                }
+            };
+            if let Err(msg) = result {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
             }
-        },
+        }
         Err(msg) => {
             if msg == HELP {
                 println!("{HELP}");

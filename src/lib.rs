@@ -19,6 +19,7 @@
 //! | [`model`] | `airtime-model` | Equations 4–13, γ models, Bianchi, task model |
 //! | [`trace`] | `airtime-trace` | trace synthesis + Figure 1/5 analyses |
 //! | [`wlan`] | `airtime-wlan` | the integrated experiment engine and scenarios |
+//! | [`obs`] | `airtime-obs` | structured event tracing, metrics registry, JSONL tools |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use airtime_core as core;
 pub use airtime_mac as mac;
 pub use airtime_model as model;
 pub use airtime_net as net;
+pub use airtime_obs as obs;
 pub use airtime_phy as phy;
 pub use airtime_sim as sim;
 pub use airtime_trace as trace;

@@ -1,9 +1,8 @@
-//! Property-based tests (proptest) over the workspace's core
-//! invariants: allocation identities from the analytic model, TBR
-//! conservation laws, airtime arithmetic, max-min structure, and
-//! end-to-end TCP delivery under arbitrary loss patterns.
-
-use proptest::prelude::*;
+//! Randomized tests over the workspace's core invariants: allocation
+//! identities from the analytic model, TBR conservation laws, airtime
+//! arithmetic, max-min structure, and end-to-end TCP delivery under
+//! arbitrary loss patterns. Inputs come from fixed-seed [`SimRng`]
+//! streams so failures reproduce exactly.
 
 use airtime::core::{
     max_min_allocation, ApScheduler, ClientId, QueuedPacket, TbrConfig, TbrScheduler,
@@ -11,74 +10,106 @@ use airtime::core::{
 use airtime::model::{rf_allocation, tf_allocation, NodeSpec};
 use airtime::phy::{DataRate, Phy80211b};
 use airtime::sim::stats::jain_index;
-use airtime::sim::{SimDuration, SimTime};
+use airtime::sim::{SimDuration, SimRng, SimTime};
 
-fn gamma_strategy() -> impl Strategy<Value = f64> {
-    // Realistic baseline-throughput range in Mbit/s.
-    0.2f64..30.0
+const CASES: usize = 200;
+
+/// Realistic baseline-throughput range in Mbit/s.
+fn random_gamma(rng: &mut SimRng) -> f64 {
+    0.2 + rng.unit() * 29.8
 }
 
-fn nodes_strategy(max_n: usize) -> impl Strategy<Value = Vec<NodeSpec>> {
-    prop::collection::vec((gamma_strategy(), 40.0f64..1500.0), 1..=max_n).prop_map(|v| {
-        v.into_iter()
-            .map(|(gamma, packet_bytes)| NodeSpec {
-                gamma,
-                packet_bytes,
-            })
-            .collect()
-    })
+fn random_nodes(rng: &mut SimRng, min_n: u64, max_n: u64) -> Vec<NodeSpec> {
+    let n = rng.range_inclusive(min_n, max_n);
+    (0..n)
+        .map(|_| NodeSpec {
+            gamma: random_gamma(rng),
+            packet_bytes: 40.0 + rng.unit() * 1460.0,
+        })
+        .collect()
 }
 
-proptest! {
-    /// Eq 1: occupancies sum to one under both notions, for any mix of
-    /// γ and packet sizes.
-    #[test]
-    fn occupancies_sum_to_one(nodes in nodes_strategy(8)) {
+fn random_gammas(rng: &mut SimRng, min_n: u64, max_n: u64) -> Vec<f64> {
+    let n = rng.range_inclusive(min_n, max_n);
+    (0..n).map(|_| random_gamma(rng)).collect()
+}
+
+/// Eq 1: occupancies sum to one under both notions, for any mix of
+/// γ and packet sizes.
+#[test]
+fn occupancies_sum_to_one() {
+    let mut rng = SimRng::new(0xA110);
+    for _ in 0..CASES {
+        let nodes = random_nodes(&mut rng, 1, 8);
         for alloc in [rf_allocation(&nodes), tf_allocation(&nodes)] {
             let sum: f64 = alloc.occupancy.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
-            prop_assert!(alloc.occupancy.iter().all(|&t| (0.0..=1.0 + 1e-12).contains(&t)));
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(alloc
+                .occupancy
+                .iter()
+                .all(|&t| (0.0..=1.0 + 1e-12).contains(&t)));
         }
     }
+}
 
-    /// Equal-packet-size RF gives every node identical throughput
-    /// (Eq 6) no matter the rates.
-    #[test]
-    fn rf_equalises_throughput(gammas in prop::collection::vec(gamma_strategy(), 2..8)) {
+/// Equal-packet-size RF gives every node identical throughput (Eq 6)
+/// no matter the rates.
+#[test]
+fn rf_equalises_throughput() {
+    let mut rng = SimRng::new(0xA111);
+    for _ in 0..CASES {
+        let gammas = random_gammas(&mut rng, 2, 7);
         let nodes: Vec<NodeSpec> = gammas.iter().map(|&g| NodeSpec::with_gamma(g)).collect();
         let alloc = rf_allocation(&nodes);
         let first = alloc.throughput[0];
         for &r in &alloc.throughput {
-            prop_assert!((r - first).abs() / first < 1e-9);
+            assert!((r - first).abs() / first < 1e-9);
         }
-        prop_assert!((jain_index(&alloc.throughput) - 1.0).abs() < 1e-9);
+        assert!((jain_index(&alloc.throughput) - 1.0).abs() < 1e-9);
     }
+}
 
-    /// TF aggregate is never below RF aggregate for equal packet
-    /// sizes, and they coincide exactly when all rates are equal
-    /// (§2.6: "R'(I) and R(I) will be equal if and only if ...").
-    #[test]
-    fn tf_dominates_rf(gammas in prop::collection::vec(gamma_strategy(), 1..8)) {
+/// TF aggregate is never below RF aggregate for equal packet sizes,
+/// and they coincide exactly when all rates are equal (§2.6: "R'(I)
+/// and R(I) will be equal if and only if ...").
+#[test]
+fn tf_dominates_rf() {
+    let mut rng = SimRng::new(0xA112);
+    for case in 0..CASES {
+        // Alternate between mixed and deliberately-equal rate vectors so
+        // both branches of the iff are exercised.
+        let gammas = if case % 4 == 0 {
+            let g = random_gamma(&mut rng);
+            vec![g; rng.range_inclusive(1, 7) as usize]
+        } else {
+            random_gammas(&mut rng, 1, 7)
+        };
         let nodes: Vec<NodeSpec> = gammas.iter().map(|&g| NodeSpec::with_gamma(g)).collect();
         let rf = rf_allocation(&nodes);
         let tf = tf_allocation(&nodes);
-        prop_assert!(tf.total >= rf.total - 1e-9, "tf {} rf {}", tf.total, rf.total);
+        assert!(
+            tf.total >= rf.total - 1e-9,
+            "tf {} rf {}",
+            tf.total,
+            rf.total
+        );
         let all_same = gammas.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12);
         if all_same {
-            prop_assert!((tf.total - rf.total).abs() < 1e-9);
+            assert!((tf.total - rf.total).abs() < 1e-9);
         }
     }
+}
 
-    /// The baseline property as an algebraic identity: node i's TF
-    /// throughput depends only on its own γ and n.
-    #[test]
-    fn baseline_property_algebraic(
-        own in gamma_strategy(),
-        (others_a, others_b) in (1usize..6).prop_flat_map(|n| (
-            prop::collection::vec(gamma_strategy(), n),
-            prop::collection::vec(gamma_strategy(), n),
-        )),
-    ) {
+/// The baseline property as an algebraic identity: node i's TF
+/// throughput depends only on its own γ and n.
+#[test]
+fn baseline_property_algebraic() {
+    let mut rng = SimRng::new(0xA113);
+    for _ in 0..CASES {
+        let own = random_gamma(&mut rng);
+        let n = rng.range_inclusive(1, 5);
+        let others_a = random_gammas(&mut rng, n, n);
+        let others_b = random_gammas(&mut rng, n, n);
         let mk = |others: &[f64]| {
             let mut v = vec![NodeSpec::with_gamma(own)];
             v.extend(others.iter().map(|&g| NodeSpec::with_gamma(g)));
@@ -86,28 +117,34 @@ proptest! {
         };
         let a = mk(&others_a);
         let b = mk(&others_b);
-        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
     }
+}
 
-    /// Max-min allocation: never exceeds demand or capacity; exhausts
-    /// capacity whenever total demand allows; unsatisfied entities all
-    /// sit at the same maximal level.
-    #[test]
-    fn max_min_structure(
-        capacity in 0.1f64..100.0,
-        demands in prop::collection::vec(0.0f64..50.0, 1..10),
-    ) {
+/// Max-min allocation: never exceeds demand or capacity; exhausts
+/// capacity whenever total demand allows; unsatisfied entities all sit
+/// at the same maximal level.
+#[test]
+fn max_min_structure() {
+    let mut rng = SimRng::new(0xA114);
+    for _ in 0..CASES {
+        let capacity = 0.1 + rng.unit() * 99.9;
+        let n = rng.range_inclusive(1, 9);
+        let demands: Vec<f64> = (0..n).map(|_| rng.unit() * 50.0).collect();
         let alloc = max_min_allocation(capacity, &demands);
         let total: f64 = alloc.iter().sum();
         let demand_total: f64 = demands.iter().sum();
-        prop_assert!(total <= capacity + 1e-9);
+        assert!(total <= capacity + 1e-9);
         for (a, d) in alloc.iter().zip(&demands) {
-            prop_assert!(*a <= d + 1e-9);
+            assert!(*a <= d + 1e-9);
         }
         if demand_total >= capacity {
-            prop_assert!((total - capacity).abs() < 1e-6, "capacity unexhausted: {total} < {capacity}");
+            assert!(
+                (total - capacity).abs() < 1e-6,
+                "capacity unexhausted: {total} < {capacity}"
+            );
         } else {
-            prop_assert!((total - demand_total).abs() < 1e-6);
+            assert!((total - demand_total).abs() < 1e-6);
         }
         let unsat: Vec<f64> = alloc
             .iter()
@@ -116,72 +153,91 @@ proptest! {
             .map(|(a, _)| *a)
             .collect();
         for w in unsat.windows(2) {
-            prop_assert!((w[0] - w[1]).abs() < 1e-6);
+            assert!((w[0] - w[1]).abs() < 1e-6);
         }
     }
+}
 
-    /// Airtime arithmetic: for any payload and 802.11b rate, the frame
-    /// airtime is monotone in size, antitone in rate, and at least the
-    /// PLCP duration.
-    #[test]
-    fn airtime_is_sane(bytes in 1u64..2304) {
+/// Airtime arithmetic: for any payload and 802.11b rate, the frame
+/// airtime is monotone in size, antitone in rate, and at least the
+/// PLCP duration.
+#[test]
+fn airtime_is_sane() {
+    let mut rng = SimRng::new(0xA115);
+    for _ in 0..CASES {
+        let bytes = rng.range_inclusive(1, 2303);
         let phy = Phy80211b::default();
         let mut prev = SimDuration::from_secs(1_000);
         for rate in DataRate::ALL_B {
             let t = phy.data_tx_time_default(bytes, rate);
-            prop_assert!(t.as_micros() >= 192, "below PLCP at {rate}");
-            prop_assert!(t < prev, "airtime not antitone at {rate}");
+            assert!(t.as_micros() >= 192, "below PLCP at {rate}");
+            assert!(t < prev, "airtime not antitone at {rate}");
             prev = t;
             let bigger = phy.data_tx_time_default(bytes + 1, rate);
-            prop_assert!(bigger >= t);
+            assert!(bigger >= t);
         }
     }
+}
 
-    /// TBR conservation: rates stay a probability distribution and
-    /// tokens never exceed the bucket, under arbitrary interleavings of
-    /// completions and ticks.
-    #[test]
-    fn tbr_conservation(
-        n in 2usize..6,
-        ops in prop::collection::vec((0usize..6, 0u64..20_000), 1..200),
-    ) {
+/// TBR conservation: rates stay a probability distribution and tokens
+/// never exceed the bucket, under arbitrary interleavings of
+/// completions and ticks.
+#[test]
+fn tbr_conservation() {
+    let mut rng = SimRng::new(0xA116);
+    for _ in 0..50 {
+        let n = rng.range_inclusive(2, 5) as usize;
         let mut tbr = TbrScheduler::new(TbrConfig::default());
         for c in 0..n {
             tbr.on_associate(ClientId(c), SimTime::ZERO);
         }
         let mut now = SimTime::ZERO;
         let bucket_ns = TbrConfig::default().bucket.as_nanos() as f64;
-        for (sel, us) in ops {
+        let ops = rng.range_inclusive(1, 199);
+        for _ in 0..ops {
+            let sel = rng.below(6) as usize;
+            let us = rng.below(20_000);
             now += SimDuration::from_micros(us);
             match sel % 3 {
                 0 => {
                     tbr.enqueue(
-                        QueuedPacket { client: ClientId(sel % n), handle: 0, bytes: 1500 },
+                        QueuedPacket {
+                            client: ClientId(sel % n),
+                            handle: 0,
+                            bytes: 1500,
+                        },
                         now,
                     );
                     let _ = tbr.dequeue(now);
                 }
-                1 => tbr.on_complete(ClientId(sel % n), SimDuration::from_micros(us), sel % 2 == 0, now),
+                1 => tbr.on_complete(
+                    ClientId(sel % n),
+                    SimDuration::from_micros(us),
+                    sel.is_multiple_of(2),
+                    now,
+                ),
                 _ => tbr.on_tick(now),
             }
             let rate_sum: f64 = (0..n).filter_map(|c| tbr.rate_of(ClientId(c))).sum();
-            prop_assert!((rate_sum - 1.0).abs() < 1e-6, "rates sum to {rate_sum}");
+            assert!((rate_sum - 1.0).abs() < 1e-6, "rates sum to {rate_sum}");
             for c in 0..n {
                 let t = tbr.tokens_of(ClientId(c)).unwrap();
-                prop_assert!(t <= bucket_ns + 1.0, "tokens above bucket: {t}");
+                assert!(t <= bucket_ns + 1.0, "tokens above bucket: {t}");
             }
         }
     }
+}
 
-    /// Contention-window growth is monotone and clamped for any retry
-    /// count.
-    #[test]
-    fn cw_growth(retries in 0u32..64) {
-        let phy = Phy80211b::default();
+/// Contention-window growth is monotone and clamped for any retry
+/// count.
+#[test]
+fn cw_growth() {
+    let phy = Phy80211b::default();
+    for retries in 0u32..64 {
         let cw = phy.cw_after(retries);
-        prop_assert!(cw >= phy.cw_min);
-        prop_assert!(cw <= phy.cw_max);
-        prop_assert!(phy.cw_after(retries + 1) >= cw);
+        assert!(cw >= phy.cw_min);
+        assert!(cw <= phy.cw_max);
+        assert!(phy.cw_after(retries + 1) >= cw);
     }
 }
 
@@ -276,21 +332,22 @@ mod tcp_delivery {
         (done, rx.contiguous_segments())
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// TCP completes any small task under any (non-total) periodic
-        /// loss pattern, and the receiver ends with exactly the task's
-        /// segments in order.
-        #[test]
-        fn tcp_survives_arbitrary_loss_patterns(
-            segments in 5u64..120,
-            drops in prop::collection::vec(any::<bool>(), 1..24),
-        ) {
-            prop_assume!(drops.iter().any(|d| !d)); // not a black hole
+    /// TCP completes any small task under any (non-total) periodic loss
+    /// pattern, and the receiver ends with exactly the task's segments
+    /// in order.
+    #[test]
+    fn tcp_survives_arbitrary_loss_patterns() {
+        let mut rng = SimRng::new(0xA117);
+        for case in 0..24 {
+            let segments = rng.range_inclusive(5, 119);
+            let pattern_len = rng.range_inclusive(1, 23);
+            let mut drops: Vec<bool> = (0..pattern_len).map(|_| rng.chance(0.5)).collect();
+            if drops.iter().all(|d| *d) {
+                drops[0] = false; // not a black hole
+            }
             let (done, delivered) = transfer(segments, &drops);
-            prop_assert!(done, "task never completed");
-            prop_assert_eq!(delivered, segments);
+            assert!(done, "case {case}: task never completed");
+            assert_eq!(delivered, segments, "case {case}");
         }
     }
 }
