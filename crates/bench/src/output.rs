@@ -56,6 +56,13 @@ impl Output {
                 }
             }
         }
+        Output::new(title, json)
+    }
+
+    /// Creates the sink directly — for callers (like `airtime-cli`)
+    /// that do their own argument parsing. Prints the title; mirrors
+    /// the tables to `json` on [`Output::finish`] when given.
+    pub fn new(title: &str, json: Option<PathBuf>) -> Output {
         println!("{title}\n");
         Output {
             title: title.to_string(),

@@ -1,0 +1,110 @@
+//! Dependency-free CSV writing with a self-describing schema header.
+//!
+//! Every CSV this workspace emits — metrics time series, sweep result
+//! matrices — goes through [`Csv`], so downstream plots parse one
+//! format: a `# schema:` comment line naming the document type and
+//! version, a header row naming the columns, then data rows. Readers
+//! that don't care about the schema can skip lines starting with `#`
+//! and treat the rest as plain CSV.
+//!
+//! ```
+//! use airtime_obs::csv::Csv;
+//!
+//! let mut csv = Csv::new("example", 1, &["t_s", "note"]);
+//! csv.row(&["0.5", "hello, world"]);
+//! assert_eq!(
+//!     csv.finish(),
+//!     "# schema: example v1; columns: 2\nt_s,note\n0.5,\"hello, world\"\n"
+//! );
+//! ```
+
+/// Quotes a field if it contains a comma, quote, or newline (RFC 4180
+/// escaping: embedded quotes double).
+pub fn escape_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
+}
+
+/// An in-memory CSV document builder.
+pub struct Csv {
+    buf: String,
+    ncols: usize,
+}
+
+impl Csv {
+    /// Starts a document of type `schema` (version `version`) with the
+    /// given header columns. Writes the `# schema:` line and the header
+    /// row immediately.
+    pub fn new<S: AsRef<str>>(schema: &str, version: u32, columns: &[S]) -> Csv {
+        let mut csv = Csv {
+            buf: format!(
+                "# schema: {schema} v{version}; columns: {}\n",
+                columns.len()
+            ),
+            ncols: columns.len(),
+        };
+        csv.row(columns);
+        csv
+    }
+
+    /// Appends one data row. Panics if the cell count does not match
+    /// the header (a ragged CSV is a bug, not an input condition).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.ncols, "ragged CSV row");
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&escape_field(cell.as_ref()));
+        }
+        self.buf.push('\n');
+    }
+
+    /// Returns the complete document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_only_when_needed() {
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn schema_header_then_rows() {
+        let mut csv = Csv::new("test-doc", 2, &["a", "b"]);
+        csv.row(&["1", "2"]);
+        csv.row(&["3", "4,5"]);
+        assert_eq!(
+            csv.finish(),
+            "# schema: test-doc v2; columns: 2\na,b\n1,2\n3,\"4,5\"\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged CSV row")]
+    fn ragged_rows_panic() {
+        let mut csv = Csv::new("test-doc", 1, &["a", "b"]);
+        csv.row(&["only-one"]);
+    }
+}

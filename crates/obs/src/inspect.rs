@@ -258,14 +258,27 @@ where
 }
 
 /// Summarises a JSONL file on disk.
+///
+/// Lines stream straight from the buffered reader into [`summarize`]
+/// one at a time, so multi-gigabyte traces are processed in constant
+/// memory. An I/O error mid-file stops the scan and is returned; the
+/// partial summary is discarded.
 pub fn summarize_file(path: &Path) -> std::io::Result<InspectSummary> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
-    let mut lines = Vec::new();
-    for line in reader.lines() {
-        lines.push(line?);
+    let mut io_err: Option<std::io::Error> = None;
+    let lines = reader.lines().map_while(|line| match line {
+        Ok(l) => Some(l),
+        Err(e) => {
+            io_err = Some(e);
+            None
+        }
+    });
+    let summary = summarize(lines);
+    match io_err {
+        Some(e) => Err(e),
+        None => Ok(summary),
     }
-    Ok(summarize(lines))
 }
 
 impl fmt::Display for InspectSummary {

@@ -20,6 +20,7 @@
 //! exported as JSON (the `--metrics` flag). [`inspect`] turns a JSONL
 //! trace back into the aggregate view `airtime-cli inspect` prints.
 
+pub mod csv;
 pub mod event;
 pub mod inspect;
 pub mod json;

@@ -268,6 +268,30 @@ impl MetricsRegistry {
 
         root.finish()
     }
+
+    /// Exports the snapshot time-series as CSV with a self-describing
+    /// schema header (see [`crate::csv`]): one row per snapshot, one
+    /// column per counter (`counter.<name>`) and gauge
+    /// (`gauge.<name>`) after the leading `t_ns` column. Metrics
+    /// registered after early snapshots are back-filled with zeros,
+    /// exactly as in [`MetricsRegistry::to_json`].
+    pub fn series_to_csv(&self) -> String {
+        let mut columns = vec!["t_ns".to_string()];
+        columns.extend(self.counter_names.iter().map(|n| format!("counter.{n}")));
+        columns.extend(self.gauge_names.iter().map(|n| format!("gauge.{n}")));
+        let mut csv = crate::csv::Csv::new("airtime-metrics-series", 1, &columns);
+        for snap in &self.snapshots {
+            let mut cells = vec![snap.t.as_nanos().to_string()];
+            for i in 0..self.counter_names.len() {
+                cells.push(snap.counters.get(i).copied().unwrap_or(0).to_string());
+            }
+            for i in 0..self.gauge_names.len() {
+                cells.push(crate::json::num(snap.gauges.get(i).copied().unwrap_or(0.0)));
+            }
+            csv.row(&cells);
+        }
+        csv.finish()
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +341,24 @@ mod tests {
         assert!(json.contains("\"events\":[1,2]"), "{json}");
         assert!(json.contains("\"late\":[0,9]"), "{json}");
         assert_eq!(m.snapshot_count(), 2);
+    }
+
+    #[test]
+    fn series_csv_has_schema_and_backfill() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("events");
+        m.inc(c);
+        m.snapshot(SimTime::from_secs(1));
+        let g = m.gauge("load");
+        m.set(g, 0.5);
+        m.inc(c);
+        m.snapshot(SimTime::from_secs(2));
+        let csv = m.series_to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# schema: airtime-metrics-series v1; columns: 3");
+        assert_eq!(lines[1], "t_ns,counter.events,gauge.load");
+        assert_eq!(lines[2], "1000000000,1,0");
+        assert_eq!(lines[3], "2000000000,2,0.5");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Per-cell aggregation: reduces each job's [`Report`] to the numbers
+//! a sweep table reports, and evaluates the baseline-property check.
+
+use airtime_sim::stats::jain_index;
+use airtime_wlan::{Report, SchedulerKind};
+
+use crate::spec::{CheckProperty, CheckSpec, ScenarioSpec};
+
+/// One station's slice of a cell.
+#[derive(Clone, Debug)]
+pub struct CellStation {
+    /// Display label for the link rate (`11M`, `path`, …).
+    pub rate: String,
+    /// Sum of this station's flow goodputs, Mbit/s.
+    pub goodput_mbps: f64,
+    /// Share of all clients' channel occupancy.
+    pub airtime_share: f64,
+}
+
+/// Outcome of the baseline-property check for one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckOutcome {
+    /// The property held within tolerance.
+    Pass,
+    /// It did not; the string says by how much.
+    Fail(String),
+    /// No check configured.
+    Skipped,
+}
+
+impl CheckOutcome {
+    /// Short label for tables and CSV (`pass`, `fail`, `skip`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckOutcome::Pass => "pass",
+            CheckOutcome::Fail(_) => "fail",
+            CheckOutcome::Skipped => "skip",
+        }
+    }
+}
+
+/// Everything a sweep reports about one cell, in deterministic plain
+/// data (no floats derived from wall time or thread interleaving).
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Matrix index (row order).
+    pub index: usize,
+    /// `(axis, value)` labels, in axis order.
+    pub coords: Vec<(String, String)>,
+    /// Per-station results, in station order.
+    pub stations: Vec<CellStation>,
+    /// Aggregate goodput, Mbit/s.
+    pub total_mbps: f64,
+    /// Post-warm-up medium utilization.
+    pub utilization: f64,
+    /// Jain's fairness index over per-station goodputs.
+    pub jain_throughput: f64,
+    /// Jain's fairness index over per-station airtime shares.
+    pub jain_airtime: f64,
+    /// Baseline-property verdict.
+    pub check: CheckOutcome,
+}
+
+/// Resolves [`CheckProperty::Auto`] by scheduler family.
+fn resolve_property(check: &CheckSpec, scheduler: &SchedulerKind) -> CheckProperty {
+    match check.property {
+        CheckProperty::Auto => match scheduler {
+            SchedulerKind::Tbr(_) | SchedulerKind::Txop(_) => CheckProperty::AirtimeFair,
+            SchedulerKind::Fifo | SchedulerKind::RoundRobin | SchedulerKind::Drr => {
+                CheckProperty::ThroughputFair
+            }
+        },
+        p => p,
+    }
+}
+
+fn evaluate_check(spec: &ScenarioSpec, report: &Report) -> CheckOutcome {
+    let n = report.nodes.len();
+    if n < 2 {
+        return CheckOutcome::Skipped;
+    }
+    // Weighted cells and task-model cells don't target the equal-share
+    // baseline; report skip rather than a misleading fail.
+    if spec.cfg.stations.iter().any(|s| s.weight != 1.0)
+        || spec.cfg.stations.iter().any(|s| {
+            s.flows
+                .iter()
+                .any(|f| f.task_bytes.is_some() || f.rate_limit_bps.is_some())
+        })
+    {
+        return CheckOutcome::Skipped;
+    }
+    let tol = spec.check.tolerance;
+    match resolve_property(&spec.check, &spec.cfg.scheduler) {
+        CheckProperty::None => CheckOutcome::Skipped,
+        CheckProperty::Auto => unreachable!("resolved above"),
+        CheckProperty::AirtimeFair => {
+            let fair = 1.0 / n as f64;
+            let worst = report
+                .nodes
+                .iter()
+                .map(|nd| (nd.occupancy_share - fair).abs())
+                .fold(0.0, f64::max);
+            if worst <= tol {
+                CheckOutcome::Pass
+            } else {
+                CheckOutcome::Fail(format!(
+                    "airtime share deviates {worst:.3} from equal {fair:.3} (tolerance {tol})"
+                ))
+            }
+        }
+        CheckProperty::ThroughputFair => {
+            let goodputs: Vec<f64> = report.nodes.iter().map(|nd| nd.goodput_mbps).collect();
+            let jain = jain_index(&goodputs);
+            if jain >= 1.0 - tol {
+                CheckOutcome::Pass
+            } else {
+                CheckOutcome::Fail(format!(
+                    "throughput Jain index {jain:.3} below {:.3}",
+                    1.0 - tol
+                ))
+            }
+        }
+    }
+}
+
+/// Reduces one finished job to its [`Cell`].
+pub fn aggregate(
+    index: usize,
+    coords: Vec<(String, String)>,
+    spec: &ScenarioSpec,
+    report: &Report,
+) -> Cell {
+    let stations: Vec<CellStation> = report
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, nd)| CellStation {
+            rate: spec.rate_labels.get(i).cloned().unwrap_or_default(),
+            goodput_mbps: nd.goodput_mbps,
+            airtime_share: nd.occupancy_share,
+        })
+        .collect();
+    let goodputs: Vec<f64> = stations.iter().map(|s| s.goodput_mbps).collect();
+    let shares: Vec<f64> = stations.iter().map(|s| s.airtime_share).collect();
+    Cell {
+        index,
+        coords,
+        total_mbps: report.total_goodput_mbps,
+        utilization: report.utilization,
+        jain_throughput: jain_index(&goodputs),
+        jain_airtime: jain_index(&shares),
+        check: evaluate_check(spec, report),
+        stations,
+    }
+}

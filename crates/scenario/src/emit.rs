@@ -1,0 +1,206 @@
+//! Serialising sweep results as JSON and CSV, each with a
+//! self-describing schema header.
+//!
+//! Both formats are pure functions of the scenario file — job order,
+//! float formatting, and column layout never depend on thread count or
+//! wall time, so re-running a sweep on any machine with any
+//! parallelism produces byte-identical documents (the property the
+//! determinism tests pin down).
+
+use airtime_obs::csv::Csv;
+use airtime_obs::json::{num, Obj};
+
+use crate::aggregate::{Cell, CheckOutcome};
+use crate::sweep::Axis;
+
+/// Schema identifier stamped into both documents.
+pub const SCHEMA: &str = "airtime-sweep";
+/// Schema version stamped into both documents.
+pub const VERSION: u32 = 1;
+
+/// The whole sweep as one JSON document.
+pub fn to_json(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
+    let mut root = Obj::new();
+    root.str("schema", SCHEMA)
+        .u64("version", VERSION as u64)
+        .str("scenario", scenario);
+
+    let mut axes_json = String::from("[");
+    for (i, a) in axes.iter().enumerate() {
+        if i > 0 {
+            axes_json.push(',');
+        }
+        let mut vals = String::from("[");
+        for (j, v) in a.values.iter().enumerate() {
+            if j > 0 {
+                vals.push(',');
+            }
+            vals.push('"');
+            vals.push_str(&airtime_obs::json::escape(&v.to_string()));
+            vals.push('"');
+        }
+        vals.push(']');
+        let mut o = Obj::new();
+        o.str("name", &a.name).raw("values", &vals);
+        axes_json.push_str(&o.finish());
+    }
+    axes_json.push(']');
+    root.raw("axes", &axes_json);
+
+    let mut cells_json = String::from("[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            cells_json.push(',');
+        }
+        let mut coords = Obj::new();
+        for (k, v) in &c.coords {
+            coords.str(k, v);
+        }
+        let mut stations = String::from("[");
+        for (j, s) in c.stations.iter().enumerate() {
+            if j > 0 {
+                stations.push(',');
+            }
+            let mut o = Obj::new();
+            o.str("rate", &s.rate)
+                .f64("goodput_mbps", s.goodput_mbps)
+                .f64("airtime_share", s.airtime_share);
+            stations.push_str(&o.finish());
+        }
+        stations.push(']');
+        let mut o = Obj::new();
+        o.u64("job", c.index as u64)
+            .raw("coords", &coords.finish())
+            .raw("stations", &stations)
+            .f64("total_mbps", c.total_mbps)
+            .f64("utilization", c.utilization)
+            .f64("jain_throughput", c.jain_throughput)
+            .f64("jain_airtime", c.jain_airtime)
+            .str("check", c.check.label());
+        if let CheckOutcome::Fail(reason) = &c.check {
+            o.str("check_reason", reason);
+        }
+        cells_json.push_str(&o.finish());
+    }
+    cells_json.push(']');
+    root.raw("cells", &cells_json);
+    root.finish() + "\n"
+}
+
+/// The whole sweep as one CSV document: one row per cell, one column
+/// per axis, then aggregates, then `goodput<i>_mbps`/`airtime<i>_share`
+/// pairs up to the widest cell (narrower cells leave those blank).
+pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
+    let max_stations = cells.iter().map(|c| c.stations.len()).max().unwrap_or(0);
+    let mut columns: Vec<String> = vec!["job".into()];
+    columns.extend(axes.iter().map(|a| a.name.clone()));
+    columns.extend(
+        [
+            "total_mbps",
+            "utilization",
+            "jain_throughput",
+            "jain_airtime",
+            "check",
+        ]
+        .map(String::from),
+    );
+    for i in 0..max_stations {
+        columns.push(format!("rate{i}"));
+        columns.push(format!("goodput{i}_mbps"));
+        columns.push(format!("airtime{i}_share"));
+    }
+    let mut csv = Csv::new(&format!("{SCHEMA}:{scenario}"), VERSION, &columns);
+    for c in cells {
+        let mut cells_row: Vec<String> = vec![c.index.to_string()];
+        cells_row.extend(c.coords.iter().map(|(_, v)| v.clone()));
+        cells_row.push(num(c.total_mbps));
+        cells_row.push(num(c.utilization));
+        cells_row.push(num(c.jain_throughput));
+        cells_row.push(num(c.jain_airtime));
+        cells_row.push(c.check.label().to_string());
+        for i in 0..max_stations {
+            match c.stations.get(i) {
+                Some(s) => {
+                    cells_row.push(s.rate.clone());
+                    cells_row.push(num(s.goodput_mbps));
+                    cells_row.push(num(s.airtime_share));
+                }
+                None => {
+                    cells_row.push(String::new());
+                    cells_row.push(String::new());
+                    cells_row.push(String::new());
+                }
+            }
+        }
+        csv.row(&cells_row);
+    }
+    csv.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::CellStation;
+    use crate::toml::Value;
+
+    fn sample() -> (Vec<Axis>, Vec<Cell>) {
+        let axes = vec![Axis {
+            name: "scheduler".into(),
+            path: "scheduler.kind".into(),
+            values: vec![Value::Str("fifo".into()), Value::Str("tbr".into())],
+            line: 10,
+        }];
+        let cell = |i: usize, sched: &str, total: f64| Cell {
+            index: i,
+            coords: vec![("scheduler".into(), sched.into())],
+            stations: vec![
+                CellStation {
+                    rate: "11M".into(),
+                    goodput_mbps: total * 0.75,
+                    airtime_share: 0.5,
+                },
+                CellStation {
+                    rate: "1M".into(),
+                    goodput_mbps: total * 0.25,
+                    airtime_share: 0.5,
+                },
+            ],
+            total_mbps: total,
+            utilization: 0.9,
+            jain_throughput: 0.8,
+            jain_airtime: 1.0,
+            check: if i == 0 {
+                CheckOutcome::Fail("off by 0.2".into())
+            } else {
+                CheckOutcome::Pass
+            },
+        };
+        (axes, vec![cell(0, "fifo", 1.34), cell(1, "tbr", 2.25)])
+    }
+
+    #[test]
+    fn json_has_schema_axes_and_cells() {
+        let (axes, cells) = sample();
+        let json = to_json("demo", &axes, &cells);
+        assert!(json.starts_with(r#"{"schema":"airtime-sweep","version":1,"scenario":"demo""#));
+        assert!(json.contains(r#""axes":[{"name":"scheduler","values":["fifo","tbr"]}]"#));
+        assert!(json.contains(r#""job":0"#));
+        assert!(json.contains(r#""check":"fail","check_reason":"off by 0.2""#));
+        assert!(json.contains(r#""check":"pass""#));
+        assert!(json.ends_with("\n"));
+    }
+
+    #[test]
+    fn csv_has_schema_header_and_station_columns() {
+        let (axes, cells) = sample();
+        let csv = to_csv("demo", &axes, &cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# schema: airtime-sweep:demo v1; columns: 13");
+        assert_eq!(
+            lines[1],
+            "job,scheduler,total_mbps,utilization,jain_throughput,jain_airtime,check,rate0,goodput0_mbps,airtime0_share,rate1,goodput1_mbps,airtime1_share"
+        );
+        assert!(lines[2].starts_with("0,fifo,1.34,0.9,0.8,1,fail,11M,"));
+        assert!(lines[3].starts_with("1,tbr,2.25,0.9,0.8,1,pass,11M,"));
+    }
+}

@@ -1,0 +1,194 @@
+//! `airtime-scenario` — the declarative experiment engine.
+//!
+//! Every figure and table binary in `airtime-bench` is a hand-coded
+//! loop over `run(&cfg)` calls. This crate replaces that pattern with
+//! data: a scenario *file* (a TOML subset, parsed with zero
+//! dependencies) declares the stations, links, traffic, scheduler,
+//! duration and seed of an experiment; a `[sweep]` section declares
+//! axes over any of those; and the engine expands the axes into a
+//! deterministic job matrix, runs it on a std-thread worker pool, and
+//! aggregates each cell into throughput, airtime shares, Jain fairness
+//! indices and a baseline-property pass/fail — emitted as JSON and CSV
+//! with self-describing schema headers.
+//!
+//! The pipeline, module by module:
+//!
+//! 1. [`toml`] — parse the file into a [`toml::Doc`] (line-tracked
+//!    errors: `airtime-cli` prints `file:line: what was expected`)
+//! 2. [`spec`] — compile a document into a [`spec::ScenarioSpec`]
+//!    wrapping a `wlan::NetworkConfig`
+//! 3. [`sweep`] — expand `[sweep]` axes into [`sweep::Job`]s (row-major
+//!    in axis declaration order)
+//! 4. [`pool`] — execute jobs in parallel; results land in matrix
+//!    order regardless of completion order
+//! 5. [`aggregate`] — reduce each `Report` to a [`aggregate::Cell`]
+//! 6. [`emit`] — render the matrix as JSON/CSV
+//!
+//! Because every job's RNG seed travels inside its config and the
+//! simulator is deterministic, the emitted documents are byte-identical
+//! across thread counts — `sweep --threads 1` is the reference
+//! implementation of `sweep --threads 64`.
+//!
+//! ```no_run
+//! let text = std::fs::read_to_string("examples/scenarios/fig2_dcf_anomaly.toml").unwrap();
+//! let outcome = airtime_scenario::run_sweep_text(&text, "fig2_dcf_anomaly.toml", 4).unwrap();
+//! println!("{}", airtime_scenario::emit::to_csv(&outcome.name, &outcome.axes, &outcome.cells));
+//! ```
+
+pub mod aggregate;
+pub mod emit;
+pub mod pool;
+pub mod spec;
+pub mod sweep;
+pub mod toml;
+
+use std::fmt;
+use std::path::Path;
+
+pub use aggregate::{Cell, CellStation, CheckOutcome};
+pub use pool::PoolStats;
+pub use spec::{CheckProperty, CheckSpec, ScenarioSpec};
+pub use sweep::{Axis, Job};
+
+/// A scenario failure bound to its file — the one-line diagnostic
+/// `airtime-cli` prints before exiting non-zero.
+#[derive(Clone, Debug)]
+pub struct ScenarioError {
+    /// The file the problem is in (as given on the command line).
+    pub file: String,
+    /// 1-based line (0 when the problem isn't line-bound, e.g. an
+    /// unreadable file).
+    pub line: usize,
+    /// What went wrong and what was expected.
+    pub msg: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+        } else {
+            write!(f, "{}: {}", self.file, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn bind(file: &str) -> impl Fn(toml::ParseError) -> ScenarioError + '_ {
+    move |e| ScenarioError {
+        file: file.to_string(),
+        line: e.line,
+        msg: e.msg,
+    }
+}
+
+/// Parses scenario text (the `file` name only labels errors).
+pub fn parse_text(text: &str, file: &str) -> Result<toml::Doc, ScenarioError> {
+    toml::parse(text).map_err(bind(file))
+}
+
+/// Reads and parses a scenario file.
+pub fn load(path: &Path) -> Result<toml::Doc, ScenarioError> {
+    let file = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| ScenarioError {
+        file: file.clone(),
+        line: 0,
+        msg: format!("cannot read scenario file: {e}"),
+    })?;
+    parse_text(&text, &file)
+}
+
+/// Compiles the document's base configuration (no sweep applied).
+pub fn compile(doc: &toml::Doc, file: &str) -> Result<ScenarioSpec, ScenarioError> {
+    spec::compile(doc).map_err(bind(file))
+}
+
+/// Expands a document into its sweep matrix.
+pub fn expand(doc: &toml::Doc, file: &str) -> Result<(Vec<Axis>, Vec<Job>), ScenarioError> {
+    sweep::expand(doc).map_err(bind(file))
+}
+
+/// A fully executed sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Scenario name from the file.
+    pub name: String,
+    /// The sweep axes (empty for a single-cell scenario).
+    pub axes: Vec<Axis>,
+    /// One aggregated cell per job, in matrix order.
+    pub cells: Vec<Cell>,
+    /// Worker-pool accounting.
+    pub stats: PoolStats,
+    /// Whether any cell failed its baseline check *and* the scenario
+    /// asked for strictness (`[check] strict = true`).
+    pub strict_failure: bool,
+}
+
+impl SweepOutcome {
+    /// Cells whose baseline check failed.
+    pub fn failed_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.check, CheckOutcome::Fail(_)))
+            .count()
+    }
+}
+
+/// Expands and executes a parsed document on `threads` workers.
+pub fn run_sweep(
+    doc: &toml::Doc,
+    file: &str,
+    threads: usize,
+) -> Result<SweepOutcome, ScenarioError> {
+    let (axes, jobs) = expand(doc, file)?;
+    let name = jobs
+        .first()
+        .map(|j| j.spec.name.clone())
+        .unwrap_or_else(|| "scenario".to_string());
+    let strict = jobs.first().map(|j| j.spec.check.strict).unwrap_or(false);
+    let (cells, stats) = pool::run_parallel(&jobs, threads, |_, job| {
+        let report = airtime_wlan::run(&job.spec.cfg);
+        aggregate::aggregate(job.index, job.coords.clone(), &job.spec, &report)
+    });
+    let outcome = SweepOutcome {
+        name,
+        axes,
+        cells,
+        stats,
+        strict_failure: false,
+    };
+    let strict_failure = strict && outcome.failed_cells() > 0;
+    Ok(SweepOutcome {
+        strict_failure,
+        ..outcome
+    })
+}
+
+/// Convenience: parse text and run the sweep in one call.
+pub fn run_sweep_text(
+    text: &str,
+    file: &str,
+    threads: usize,
+) -> Result<SweepOutcome, ScenarioError> {
+    let doc = parse_text(text, file)?;
+    run_sweep(&doc, file, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_includes_file_and_line() {
+        let e = parse_text("a = \n", "demo.toml").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "demo.toml:1: expected a value, found end of input"
+        );
+        let e = load(Path::new("/nonexistent/x.toml")).unwrap_err();
+        assert!(e
+            .to_string()
+            .starts_with("/nonexistent/x.toml: cannot read"));
+    }
+}

@@ -138,6 +138,10 @@ pub struct StationConfig {
     pub link: LinkSpec,
     /// Flows terminating at this station.
     pub flows: Vec<FlowSpec>,
+    /// QoS weight for schedulers that support weighted shares (the
+    /// §4.5 extension; currently TBR). 1.0 = equal share; must be
+    /// positive. Other schedulers ignore it.
+    pub weight: f64,
 }
 
 impl StationConfig {
@@ -147,6 +151,7 @@ impl StationConfig {
         StationConfig {
             link: LinkSpec::Fixed { rate, fer: 0.01 },
             flows: vec![FlowSpec::tcp(direction)],
+            weight: 1.0,
         }
     }
 }

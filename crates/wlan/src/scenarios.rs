@@ -56,6 +56,7 @@ pub fn updown_baseline(
                 fer: 0.01,
             },
             flows: vec![flow.clone()],
+            weight: 1.0,
         })
         .collect();
     NetworkConfig::new(stations, scheduler)
@@ -83,6 +84,7 @@ pub fn exp1_office(scheduler: SchedulerKind) -> NetworkConfig {
                 initial_rate: DataRate::B11,
             },
             flows: vec![FlowSpec::udp(Direction::Downlink)],
+            weight: 1.0,
         })
         .collect();
     let mut cfg = NetworkConfig::new(stations, scheduler);
@@ -122,6 +124,7 @@ pub fn task_model(rates: &[DataRate], task_bytes: u64, scheduler: SchedulerKind)
                 task_bytes: Some(task_bytes),
                 rate_limit_bps: None,
             }],
+            weight: 1.0,
         })
         .collect();
     let mut cfg = NetworkConfig::new(stations, scheduler);
@@ -169,6 +172,7 @@ pub fn hotspot_short_flows(
             StationConfig {
                 link: LinkSpec::Fixed { rate, fer: 0.01 },
                 flows,
+                weight: 1.0,
             }
         })
         .collect();

@@ -95,6 +95,14 @@ impl Sched {
     fn on_associate(&mut self, c: ClientId, now: SimTime) {
         sched_delegate!(self, s => s.on_associate(c, now))
     }
+    /// Associates with a QoS weight where the discipline supports it
+    /// (TBR); everywhere else the weight is ignored.
+    fn on_associate_weighted(&mut self, c: ClientId, weight: f64, now: SimTime) {
+        match self {
+            Sched::Tbr(s) => s.on_associate_weighted(c, weight, now),
+            other => other.on_associate(c, now),
+        }
+    }
     fn enqueue(&mut self, p: QueuedPacket, now: SimTime) -> EnqueueOutcome {
         sched_delegate!(self, s => s.enqueue(p, now))
     }
@@ -385,12 +393,13 @@ impl<'c, O: Observer> Sim<'c, O> {
         match cfg.regulate {
             Regulate::PerStation => {
                 for i in 0..n {
-                    sched.on_associate(ClientId(i), SimTime::ZERO);
+                    sched.on_associate_weighted(ClientId(i), cfg.stations[i].weight, SimTime::ZERO);
                 }
             }
             Regulate::PerFlow => {
-                for f in 0..flows.len() {
-                    sched.on_associate(ClientId(f), SimTime::ZERO);
+                for (f, rt) in flows.iter().enumerate() {
+                    let weight = cfg.stations[rt.station].weight;
+                    sched.on_associate_weighted(ClientId(f), weight, SimTime::ZERO);
                 }
             }
         }

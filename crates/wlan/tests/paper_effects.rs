@@ -533,6 +533,7 @@ fn per_flow_regulation_splits_by_flow_count() {
                 fer: 0.01,
             },
             flows: vec![FlowSpec::tcp(Direction::Downlink); nflows],
+            weight: 1.0,
         };
         let mut cfg = NetworkConfig::new(vec![mk(2), mk(1)], SchedulerKind::tbr());
         cfg.regulate = regulate;

@@ -25,10 +25,15 @@ const HELP: &str = "airtime-cli — multi-rate WLAN fairness experiments
 
 USAGE:
     airtime-cli run [OPTIONS]       simulate a cell and print the report
+    airtime-cli sweep <file.toml>   expand a scenario's [sweep] matrix and
+                                    run it on a worker pool
     airtime-cli inspect <events>    summarize a JSONL event trace
     airtime-cli predict [OPTIONS]   analytic RF/TF predictions (Eqs 6/12)
 
 OPTIONS (run):
+    --scenario <file>   load a full NetworkConfig from a scenario file
+                        (stations, links, traffic, scheduler tables);
+                        overrides --rates/--sched/--direction/--secs/--seed
     --rates <list>      comma-separated Mbit/s per station from
                         {1,2,5.5,11,6,9,12,18,24,36,48,54}   [default: 11,1]
     --sched <name>      fifo | rr | drr | tbr | txop          [default: tbr]
@@ -38,7 +43,18 @@ OPTIONS (run):
     --events <path>     stream structured events to a JSONL trace
     --metrics <path>    export counters/gauges/histograms + time series
                         as JSON (implies instrumentation)
+    --metrics-csv <path> export the metrics snapshot time-series as CSV
+                        with a schema header (implies instrumentation)
     --json              print the report as JSON instead of a table
+
+OPTIONS (sweep):
+    --threads <n>       worker threads                  [default: all cores]
+    --json <path>       write the result matrix as schema'd JSON
+    --csv <path>        write the result matrix as schema'd CSV
+
+Scenario files are a TOML subset; see examples/scenarios/ and the
+README's \"Scenario files\" section. Malformed files exit non-zero with
+a file:line diagnostic.
 
 OPTIONS (predict):
     --rates <list>      as above
@@ -79,8 +95,15 @@ struct Args {
     seed: u64,
     events: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    metrics_csv: Option<PathBuf>,
+    scenario: Option<PathBuf>,
+    threads: Option<usize>,
+    /// `--json` as a bare flag (`run`) or with a path (`sweep`).
     json: bool,
-    /// Positional argument (the trace path for `inspect`).
+    json_path: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    /// Positional argument (the trace path for `inspect`, the
+    /// scenario file for `sweep`).
     positional: Option<String>,
 }
 
@@ -97,7 +120,12 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         seed: 1,
         events: None,
         metrics: None,
+        metrics_csv: None,
+        scenario: None,
+        threads: None,
         json: false,
+        json_path: None,
+        csv: None,
         positional: None,
     };
     while let Some(flag) = argv.next() {
@@ -125,6 +153,20 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
             "--events" => args.events = Some(PathBuf::from(value()?)),
             "--metrics" => args.metrics = Some(PathBuf::from(value()?)),
+            "--metrics-csv" => args.metrics_csv = Some(PathBuf::from(value()?)),
+            "--scenario" => args.scenario = Some(PathBuf::from(value()?)),
+            "--threads" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
+            "--csv" => args.csv = Some(PathBuf::from(value()?)),
+            // `run --json` is a bare flag; `sweep --json <path>` takes a path.
+            "--json" if cmd == "sweep" => args.json_path = Some(PathBuf::from(value()?)),
             "--json" => args.json = true,
             other if !other.starts_with('-') && args.positional.is_none() => {
                 args.positional = Some(other.to_string());
@@ -136,12 +178,31 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
 }
 
 fn cmd_run(a: &Args) -> Result<(), String> {
-    let mut cfg = scenarios::tcp_stations(&a.rates, a.direction, a.sched.clone());
-    cfg.duration = SimDuration::from_secs(a.secs);
-    cfg.warmup = SimDuration::from_secs((a.secs / 8).max(1));
-    cfg.seed = a.seed;
+    let (cfg, labels) = match &a.scenario {
+        Some(path) => {
+            let doc = airtime::scenario::load(path).map_err(|e| e.to_string())?;
+            if doc.table("sweep").is_some() {
+                return Err(format!(
+                    "{} declares a [sweep] section; use `airtime-cli sweep {}`",
+                    path.display(),
+                    path.display()
+                ));
+            }
+            let spec = airtime::scenario::compile(&doc, &path.display().to_string())
+                .map_err(|e| e.to_string())?;
+            (spec.cfg, spec.rate_labels)
+        }
+        None => {
+            let mut cfg = scenarios::tcp_stations(&a.rates, a.direction, a.sched.clone());
+            cfg.duration = SimDuration::from_secs(a.secs);
+            cfg.warmup = SimDuration::from_secs((a.secs / 8).max(1));
+            cfg.seed = a.seed;
+            let labels = a.rates.iter().map(|r| r.to_string()).collect();
+            (cfg, labels)
+        }
+    };
 
-    let mut registry = (a.metrics.is_some()).then(MetricsRegistry::new);
+    let mut registry = (a.metrics.is_some() || a.metrics_csv.is_some()).then(MetricsRegistry::new);
     let r = match &a.events {
         Some(path) => {
             let mut obs = JsonlObserver::create(path)
@@ -160,23 +221,27 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         std::fs::write(path, reg.to_json() + "\n")
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
+    if let (Some(path), Some(reg)) = (&a.metrics_csv, &registry) {
+        std::fs::write(path, reg.series_to_csv())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
 
     if a.json {
-        println!("{}", report_json(a, &r));
+        println!("{}", report_json(&cfg, &labels, &r));
         return Ok(());
     }
     println!(
-        "{} stations, {:?} TCP, {:?} s simulated\n",
-        a.rates.len(),
-        a.direction,
-        a.secs
+        "{} stations, {} TCP, {} s simulated\n",
+        cfg.stations.len(),
+        direction_label(&cfg),
+        cfg.duration.as_secs_f64()
     );
     println!("station  rate   goodput Mb/s  airtime  p50 lat ms");
     for (i, f) in r.flows.iter().enumerate() {
         println!(
             "{:>7}  {:>4}  {:>12.3}  {:>6.1}%  {:>10}",
             i + 1,
-            a.rates[f.station].to_string(),
+            labels[f.station],
             f.goodput_mbps,
             r.nodes[f.station].occupancy_share * 100.0,
             f.latency_p50_ms
@@ -194,8 +259,28 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One word describing where the cell's flows point: `Uplink`,
+/// `Downlink`, or `Mixed` when a scenario file declares both.
+fn direction_label(cfg: &airtime::wlan::NetworkConfig) -> String {
+    let mut dirs = cfg
+        .stations
+        .iter()
+        .flat_map(|s| s.flows.iter())
+        .map(|f| f.direction);
+    match dirs.next() {
+        None => "idle".into(),
+        Some(first) => {
+            if dirs.all(|d| d == first) {
+                format!("{first:?}")
+            } else {
+                "Mixed".into()
+            }
+        }
+    }
+}
+
 /// The run report as one JSON object (the `--json` output).
-fn report_json(a: &Args, r: &Report) -> String {
+fn report_json(cfg: &airtime::wlan::NetworkConfig, labels: &[String], r: &Report) -> String {
     let mut flows = String::from("[");
     for (i, f) in r.flows.iter().enumerate() {
         if i > 0 {
@@ -203,7 +288,7 @@ fn report_json(a: &Args, r: &Report) -> String {
         }
         let mut o = Obj::new();
         o.u64("station", f.station as u64)
-            .str("rate", &a.rates[f.station].to_string())
+            .str("rate", &labels[f.station])
             .f64("goodput_mbps", f.goodput_mbps)
             .f64("occupancy_share", r.nodes[f.station].occupancy_share);
         match f.latency_p50_ms {
@@ -215,10 +300,10 @@ fn report_json(a: &Args, r: &Report) -> String {
     flows.push(']');
     let occupancy: Vec<f64> = r.nodes.iter().map(|n| n.occupancy_share).collect();
     let mut o = Obj::new();
-    o.u64("seed", a.seed)
-        .u64("secs", a.secs)
-        .str("direction", &format!("{:?}", a.direction))
-        .str("scheduler", &format!("{:?}", a.sched))
+    o.u64("seed", cfg.seed)
+        .f64("secs", cfg.duration.as_secs_f64())
+        .str("direction", &direction_label(cfg))
+        .str("scheduler", &format!("{:?}", cfg.scheduler))
         .raw("flows", &flows)
         .raw("occupancy_shares", &array_f64(&occupancy))
         .f64("total_goodput_mbps", r.total_goodput_mbps)
@@ -227,6 +312,80 @@ fn report_json(a: &Args, r: &Report) -> String {
         .u64("mac_retries", r.mac.retries)
         .u64("sched_drops", r.sched_drops);
     o.finish()
+}
+
+fn cmd_sweep(a: &Args) -> Result<(), String> {
+    let path = a
+        .positional
+        .as_deref()
+        .ok_or("sweep needs a scenario file: airtime-cli sweep <file.toml>")?;
+    let path = std::path::Path::new(path);
+    let file = path.display().to_string();
+    let doc = airtime::scenario::load(path).map_err(|e| e.to_string())?;
+    let threads = a.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let outcome = airtime::scenario::run_sweep(&doc, &file, threads).map_err(|e| e.to_string())?;
+
+    let mut out = airtime::bench::Output::new(
+        &format!("sweep '{}' — {} cells", outcome.name, outcome.cells.len()),
+        None,
+    );
+    print_sweep_table(&mut out, &outcome);
+    out.note(&format!(
+        "{} worker thread(s); jobs per thread: {:?}",
+        outcome.stats.threads_used(),
+        outcome.stats.per_thread_jobs
+    ));
+
+    if let Some(p) = &a.json_path {
+        let doc = airtime::scenario::emit::to_json(&outcome.name, &outcome.axes, &outcome.cells);
+        std::fs::write(p, doc).map_err(|e| format!("writing {}: {e}", p.display()))?;
+        out.note(&format!("JSON matrix written to {}", p.display()));
+    }
+    if let Some(p) = &a.csv {
+        let doc = airtime::scenario::emit::to_csv(&outcome.name, &outcome.axes, &outcome.cells);
+        std::fs::write(p, doc).map_err(|e| format!("writing {}: {e}", p.display()))?;
+        out.note(&format!("CSV matrix written to {}", p.display()));
+    }
+
+    let failed = outcome.failed_cells();
+    if failed > 0 {
+        out.note(&format!("{failed} cell(s) failed their baseline check"));
+    }
+    out.finish();
+    if outcome.strict_failure {
+        return Err(format!(
+            "{failed} cell(s) failed the baseline check and the scenario sets [check] strict = true"
+        ));
+    }
+    Ok(())
+}
+
+/// The per-cell stdout table for `sweep`: one row per matrix cell.
+fn print_sweep_table(out: &mut airtime::bench::Output, outcome: &airtime::scenario::SweepOutcome) {
+    let mut header: Vec<&str> = vec!["cell"];
+    for ax in &outcome.axes {
+        header.push(ax.name.as_str());
+    }
+    header.extend(["total Mb/s", "util %", "Jain(thpt)", "Jain(time)", "check"]);
+    let rows: Vec<Vec<String>> = outcome
+        .cells
+        .iter()
+        .map(|c| {
+            let mut row = vec![c.index.to_string()];
+            row.extend(c.coords.iter().map(|(_, v)| v.clone()));
+            row.push(format!("{:.3}", c.total_mbps));
+            row.push(format!("{:.1}", c.utilization * 100.0));
+            row.push(format!("{:.3}", c.jain_throughput));
+            row.push(format!("{:.3}", c.jain_airtime));
+            row.push(c.check.label().to_string());
+            row
+        })
+        .collect();
+    out.table("", &header, &rows);
 }
 
 fn cmd_inspect(a: &Args) -> Result<(), String> {
@@ -288,6 +447,7 @@ fn main() {
         Ok((cmd, args)) => {
             let result = match cmd.as_str() {
                 "run" => cmd_run(&args),
+                "sweep" => cmd_sweep(&args),
                 "inspect" => cmd_inspect(&args),
                 "predict" => {
                     cmd_predict(&args);

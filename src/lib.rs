@@ -19,7 +19,9 @@
 //! | [`model`] | `airtime-model` | Equations 4–13, γ models, Bianchi, task model |
 //! | [`trace`] | `airtime-trace` | trace synthesis + Figure 1/5 analyses |
 //! | [`wlan`] | `airtime-wlan` | the integrated experiment engine and scenarios |
-//! | [`obs`] | `airtime-obs` | structured event tracing, metrics registry, JSONL tools |
+//! | [`obs`] | `airtime-obs` | structured event tracing, metrics registry, JSONL/CSV tools |
+//! | [`scenario`] | `airtime-scenario` | declarative scenario files, sweeps, parallel execution |
+//! | [`bench`] | `airtime-bench` | paper table/figure binaries and their shared output sink |
 //!
 //! # Quickstart
 //!
@@ -40,12 +42,14 @@
 //! assert!(after.total_goodput_mbps > 1.5 * before.total_goodput_mbps);
 //! ```
 
+pub use airtime_bench as bench;
 pub use airtime_core as core;
 pub use airtime_mac as mac;
 pub use airtime_model as model;
 pub use airtime_net as net;
 pub use airtime_obs as obs;
 pub use airtime_phy as phy;
+pub use airtime_scenario as scenario;
 pub use airtime_sim as sim;
 pub use airtime_trace as trace;
 pub use airtime_wlan as wlan;
