@@ -124,6 +124,45 @@ pub enum MacEffect {
         /// The contention window used for the draw.
         cw: u32,
     },
+    /// One exclusive slice of the medium timeline. Only emitted when
+    /// the embedder opted in via [`DcfWorld::set_emit_airtime`]; the
+    /// accounting is effect-only (no RNG, no state the contention
+    /// machine reads back), so opting in never perturbs the run.
+    ///
+    /// Slices of one DCF cycle are emitted together when the cycle's
+    /// transmission ends, in chronological order, and consecutive
+    /// cycles tile wall time exactly — the conservation invariant the
+    /// obs-layer auditor checks.
+    AirtimeSlice {
+        /// When the slice began.
+        start: SimTime,
+        /// How long it lasted.
+        dur: SimDuration,
+        /// Billed client's node index. Idle and collision time carry
+        /// the AP's index here: the AP never owns occupancy (§2.2), so
+        /// its id doubles as "the cell itself".
+        client: usize,
+        /// What the time was spent on.
+        kind: SliceKind,
+    },
+}
+
+/// What a [`MacEffect::AirtimeSlice`] was spent on (mirrors the obs
+/// crate's `AirtimeCategory`; the MAC stays observation-free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceKind {
+    /// MPDU payload bits on the air.
+    DataTx,
+    /// ACK frames.
+    Ack,
+    /// Fixed MAC overhead: DIFS, SIFS, preambles, RTS/CTS.
+    MacOverhead,
+    /// Contention countdown while at least one station has traffic.
+    Backoff,
+    /// Busy time destroyed by simultaneous transmissions.
+    Collision,
+    /// Nobody had traffic pending.
+    Idle,
 }
 
 struct Station {
@@ -179,6 +218,13 @@ pub struct DcfWorld {
     busy_accum: SimDuration,
     stats: MacStats,
     emit_backoff: bool,
+    emit_airtime: bool,
+    /// When the current idle period first had a contender (the boundary
+    /// between `Idle` and `Backoff`/`MacOverhead` ledger time).
+    contention_since: Option<SimTime>,
+    /// Ledger slices of the in-progress DCF cycle, captured at channel
+    /// access and emitted when its transmission ends.
+    pending_slices: Vec<(SimTime, SimDuration, usize, SliceKind)>,
 }
 
 impl DcfWorld {
@@ -217,6 +263,9 @@ impl DcfWorld {
             busy_accum: SimDuration::ZERO,
             stats: MacStats::default(),
             emit_backoff: false,
+            emit_airtime: false,
+            contention_since: None,
+            pending_slices: Vec::new(),
         }
     }
 
@@ -225,6 +274,14 @@ impl DcfWorld {
     /// draws themselves.
     pub fn set_emit_backoff(&mut self, on: bool) {
         self.emit_backoff = on;
+    }
+
+    /// Opts in to [`MacEffect::AirtimeSlice`] effects. Off by default;
+    /// like backoff emission, the flag only adds effects — it touches
+    /// neither the RNG stream nor any state the contention machine
+    /// reads, so observed runs stay bit-identical.
+    pub fn set_emit_airtime(&mut self, on: bool) {
+        self.emit_airtime = on;
     }
 
     /// Number of stations (including the AP).
@@ -375,7 +432,11 @@ impl DcfWorld {
             .collect();
         if contenders.is_empty() {
             self.countdown_active = false;
+            self.contention_since = None;
             return;
+        }
+        if self.contention_since.is_none() {
+            self.contention_since = Some(now);
         }
         let slot = self.slot();
         let base = self.idle_start + self.config.phy.difs();
@@ -503,15 +564,172 @@ impl DcfWorld {
         let end = now + busy_span;
         self.busy_until = Some(end);
         self.busy_accum += busy_span;
+        if self.emit_airtime {
+            self.capture_cycle_slices(now, busy_span, collided);
+        }
+        self.contention_since = None;
         effects.push(MacEffect::Schedule {
             at: end,
             event: MacEvent::TxEnd,
         });
     }
 
+    /// Captures the ledger slices of the cycle that just won access:
+    /// the idle/contention gap `[idle_start, now]` plus the busy period
+    /// `[now, now + busy_span]`, split chronologically so consecutive
+    /// cycles tile wall time exactly. Emission waits until the cycle's
+    /// TxEnd (everything is then in the past).
+    fn capture_cycle_slices(&mut self, now: SimTime, busy_span: SimDuration, collided: bool) {
+        let cell = self.config.ap.index();
+        let push = |slices: &mut Vec<(SimTime, SimDuration, usize, SliceKind)>,
+                    start: SimTime,
+                    dur: SimDuration,
+                    client: usize,
+                    kind: SliceKind| {
+            if !dur.is_zero() {
+                slices.push((start, dur, client, kind));
+            }
+        };
+        let mut slices = std::mem::take(&mut self.pending_slices);
+        debug_assert!(slices.is_empty(), "previous cycle not drained");
+
+        // The gap: idle until somebody had traffic, then DIFS deferral,
+        // then backoff countdown. The DIFS/backoff boundary inside the
+        // active part is attribution (conservation holds regardless of
+        // where it falls); DIFS-first matches the DCF sequence.
+        let active_from = match self.contention_since {
+            Some(c) => c.clamp(self.idle_start, now),
+            None => now,
+        };
+        let idle_dur = active_from.saturating_since(self.idle_start);
+        push(
+            &mut slices,
+            self.idle_start,
+            idle_dur,
+            cell,
+            SliceKind::Idle,
+        );
+        let active = now.saturating_since(active_from);
+        let difs_part = active.min(self.config.phy.difs());
+        let backoff_part = active - difs_part;
+        // A single winner owns its access time; colliding winners
+        // overlap, so the cell absorbs it.
+        let owner = if collided {
+            cell
+        } else {
+            self.client_of(&self.in_flight[0].frame)
+        };
+        push(
+            &mut slices,
+            active_from,
+            difs_part,
+            owner,
+            SliceKind::MacOverhead,
+        );
+        push(
+            &mut slices,
+            active_from + difs_part,
+            backoff_part,
+            owner,
+            SliceKind::Backoff,
+        );
+
+        // The busy period. A clean exchange splits into its on-air
+        // parts (they sum to busy_span exactly); a collision destroys
+        // the whole busy period, which nobody owns.
+        if collided {
+            push(&mut slices, now, busy_span, cell, SliceKind::Collision);
+        } else {
+            let phy = self.config.phy;
+            let frame = self.in_flight[0].frame;
+            let on_air = frame.msdu_bytes + airtime_phy::timing::MAC_DATA_OVERHEAD_BYTES;
+            let protected = self.config.rts_threshold.is_some_and(|th| on_air > th);
+            let handshake = if protected {
+                phy.rts_cts_overhead(frame.rate)
+            } else {
+                SimDuration::ZERO
+            };
+            let data_dur = phy.data_tx_time_default(frame.msdu_bytes, frame.rate);
+            let ack_dur = phy.ack_tx_time(frame.rate);
+            debug_assert_eq!(handshake + data_dur + phy.sifs + ack_dur, busy_span);
+            let mut t = now;
+            push(&mut slices, t, handshake, owner, SliceKind::MacOverhead);
+            t += handshake;
+            push(&mut slices, t, data_dur, owner, SliceKind::DataTx);
+            t += data_dur;
+            push(&mut slices, t, phy.sifs, owner, SliceKind::MacOverhead);
+            t += phy.sifs;
+            push(&mut slices, t, ack_dur, owner, SliceKind::Ack);
+        }
+        self.pending_slices = slices;
+    }
+
+    /// Emits the ledger slices covering everything not yet accounted
+    /// for, up to `end`: the in-progress busy period clipped at `end`,
+    /// or the trailing idle/contention gap. Call once when the run
+    /// ends so the timeline tiles `[0, end]` exactly.
+    pub fn drain_airtime_tail(&mut self, end: SimTime) -> Vec<MacEffect> {
+        let mut effects = Vec::new();
+        if !self.emit_airtime {
+            return effects;
+        }
+        if !self.pending_slices.is_empty() {
+            // Mid-transmission: the captured cycle runs past `end`.
+            for (start, dur, client, kind) in std::mem::take(&mut self.pending_slices) {
+                if start >= end {
+                    continue;
+                }
+                let dur = dur.min(end.saturating_since(start));
+                effects.push(MacEffect::AirtimeSlice {
+                    start,
+                    dur,
+                    client,
+                    kind,
+                });
+            }
+        } else if end > self.idle_start {
+            // Idle tail; unfinished contention counts as cell backoff
+            // (no winner exists to own it).
+            let cell = self.config.ap.index();
+            let active_from = match self.contention_since {
+                Some(c) => c.clamp(self.idle_start, end),
+                None => end,
+            };
+            let idle_dur = active_from.saturating_since(self.idle_start);
+            if !idle_dur.is_zero() {
+                effects.push(MacEffect::AirtimeSlice {
+                    start: self.idle_start,
+                    dur: idle_dur,
+                    client: cell,
+                    kind: SliceKind::Idle,
+                });
+            }
+            let active = end.saturating_since(active_from);
+            if !active.is_zero() {
+                effects.push(MacEffect::AirtimeSlice {
+                    start: active_from,
+                    dur: active,
+                    client: cell,
+                    kind: SliceKind::Backoff,
+                });
+            }
+        }
+        effects
+    }
+
     fn on_tx_end(&mut self, now: SimTime, effects: &mut Vec<MacEffect>) {
         self.busy_until = None;
         self.idle_start = now;
+        if self.emit_airtime {
+            for (start, dur, client, kind) in self.pending_slices.drain(..) {
+                effects.push(MacEffect::AirtimeSlice {
+                    start,
+                    dur,
+                    client,
+                    kind,
+                });
+            }
+        }
         let collision = self.in_flight.len() > 1;
         let flights = std::mem::take(&mut self.in_flight);
         for tx in flights {

@@ -31,6 +31,6 @@ pub mod dcf;
 pub mod frame;
 pub mod polled;
 
-pub use dcf::{DcfConfig, DcfWorld, MacEffect, MacEvent, MacStats};
+pub use dcf::{DcfConfig, DcfWorld, MacEffect, MacEvent, MacStats, SliceKind};
 pub use frame::{Frame, FrameOutcome, NodeId};
 pub use polled::{PolledConfig, PolledWorld};

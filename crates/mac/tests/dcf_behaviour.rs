@@ -55,7 +55,7 @@ impl Driver {
                     airtime_total,
                 } => self.finals.push((frame, outcome, airtime_total)),
                 MacEffect::Attempt { .. } => self.attempts += 1,
-                MacEffect::BackoffDrawn { .. } => {}
+                MacEffect::BackoffDrawn { .. } | MacEffect::AirtimeSlice { .. } => {}
             }
         }
     }

@@ -120,7 +120,9 @@ fn run_polled(rates: [DataRate; 2], poller: Poller, secs: u64) -> ([u64; 2], [Si
                         } => {
                             tokens[frame.src.index() - 1] -= airtime_total.as_nanos() as f64;
                         }
-                        MacEffect::Attempt { .. } | MacEffect::BackoffDrawn { .. } => {}
+                        MacEffect::Attempt { .. }
+                        | MacEffect::BackoffDrawn { .. }
+                        | MacEffect::AirtimeSlice { .. } => {}
                     }
                 }
             }

@@ -47,7 +47,17 @@ impl Csv {
     /// Starts a document of type `schema` (version `version`) with the
     /// given header columns. Writes the `# schema:` line and the header
     /// row immediately.
+    ///
+    /// The schema string ends up inside a `#` comment line, where CSV
+    /// quoting does not apply — a newline there would truncate the
+    /// comment and corrupt the document (sweep CSVs interpolate the
+    /// user-chosen scenario name here). Control characters are replaced
+    /// with spaces instead.
     pub fn new<S: AsRef<str>>(schema: &str, version: u32, columns: &[S]) -> Csv {
+        let schema: String = schema
+            .chars()
+            .map(|c| if c.is_control() { ' ' } else { c })
+            .collect();
         let mut csv = Csv {
             buf: format!(
                 "# schema: {schema} v{version}; columns: {}\n",
@@ -88,6 +98,34 @@ mod tests {
         assert_eq!(escape_field("a,b"), "\"a,b\"");
         assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
         assert_eq!(escape_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(escape_field("cr\rhere"), "\"cr\rhere\"");
+        assert_eq!(escape_field(""), "");
+        // A field that is nothing but a quote still round-trips.
+        assert_eq!(escape_field("\""), "\"\"\"\"");
+    }
+
+    #[test]
+    fn header_and_data_fields_are_escaped() {
+        let mut csv = Csv::new("doc", 1, &["plain", "with,comma"]);
+        csv.row(&["quote\"y", "multi\nline"]);
+        let text = csv.finish();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("# schema: doc v1; columns: 2"));
+        assert_eq!(lines.next(), Some("plain,\"with,comma\""));
+        // The data row's embedded newline stays inside its quotes.
+        assert!(text.contains("\"quote\"\"y\",\"multi\nline\"\n"));
+    }
+
+    #[test]
+    fn schema_string_cannot_break_the_comment_line() {
+        // A scenario named with an embedded newline must not truncate
+        // the # comment and leak a fake data row.
+        let csv = Csv::new("evil\nname\rhere", 1, &["a"]);
+        let text = csv.finish();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "# schema: evil name here v1; columns: 1");
+        assert_eq!(lines[1], "a");
     }
 
     #[test]

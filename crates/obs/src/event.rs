@@ -121,6 +121,93 @@ impl QueueSite {
     }
 }
 
+/// Which exclusive-timeline bucket an [`EventRecord::AirtimeSlice`]
+/// bills its microseconds to.
+///
+/// The ledger attributes every instant of medium time to exactly one
+/// `(station, category)` pair, so the categories tile wall time: the
+/// busy categories (`DataTx`, `Ack`, `MacOverhead`) describe a winning
+/// transmission, `Backoff` covers countdown time while stations
+/// contend, `Collision` covers busy time wasted by overlapping
+/// transmissions, and `Idle` is medium time nobody wanted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AirtimeCategory {
+    /// MPDU payload bits on the air.
+    DataTx,
+    /// ACK frames.
+    Ack,
+    /// Fixed MAC overhead: DIFS, SIFS, preambles, RTS/CTS.
+    MacOverhead,
+    /// Contention countdown while at least one station has traffic.
+    Backoff,
+    /// Busy time destroyed by simultaneous transmissions.
+    Collision,
+    /// Nobody had traffic pending.
+    Idle,
+}
+
+impl AirtimeCategory {
+    /// All categories, in display order.
+    pub const ALL: [AirtimeCategory; 6] = [
+        AirtimeCategory::DataTx,
+        AirtimeCategory::Ack,
+        AirtimeCategory::MacOverhead,
+        AirtimeCategory::Backoff,
+        AirtimeCategory::Collision,
+        AirtimeCategory::Idle,
+    ];
+
+    /// Stable wire/display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AirtimeCategory::DataTx => "data_tx",
+            AirtimeCategory::Ack => "ack",
+            AirtimeCategory::MacOverhead => "mac_overhead",
+            AirtimeCategory::Backoff => "backoff",
+            AirtimeCategory::Collision => "collision",
+            AirtimeCategory::Idle => "idle",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "data_tx" => AirtimeCategory::DataTx,
+            "ack" => AirtimeCategory::Ack,
+            "mac_overhead" => AirtimeCategory::MacOverhead,
+            "backoff" => AirtimeCategory::Backoff,
+            "collision" => AirtimeCategory::Collision,
+            "idle" => AirtimeCategory::Idle,
+            _ => return None,
+        })
+    }
+}
+
+/// Which run boundary an [`EventRecord::RunMark`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunPhase {
+    /// The measurement warm-up elapsed; accounting resets here.
+    Warmup,
+    /// The run ended; no records follow.
+    End,
+}
+
+impl RunPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunPhase::Warmup => "warmup",
+            RunPhase::End => "end",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "warmup" => RunPhase::Warmup,
+            "end" => RunPhase::End,
+            _ => return None,
+        })
+    }
+}
+
 /// One observability event, as emitted by the simulator and stored one
 /// per line in the JSONL trace.
 #[derive(Clone, Debug, PartialEq)]
@@ -140,6 +227,9 @@ pub enum EventRecord {
         t: SimTime,
         /// Transmitting station (0 = AP).
         node: u64,
+        /// Client the attempt's occupancy is billed to (§2.2: AP
+        /// transmissions bill the destination client).
+        client: u64,
         /// MSDU payload size.
         bytes: u64,
         /// PHY data rate in Mbit/s.
@@ -219,6 +309,55 @@ pub enum EventRecord {
         /// Length after the change.
         len: u64,
     },
+    /// One exclusive slice of the medium timeline.
+    ///
+    /// Slices are emitted when the DCF cycle containing them resolves,
+    /// so `t` (the emission time) trails `start + dur`; consecutive
+    /// slices tile wall time with no gaps or overlaps — the property
+    /// the conservation auditor checks.
+    AirtimeSlice {
+        /// Emission time (end of the cycle the slice belongs to).
+        t: SimTime,
+        /// When the slice began.
+        start: SimTime,
+        /// How long it lasted.
+        dur: SimDuration,
+        /// Owning client (1-based node id), or 0 for the cell itself
+        /// (idle and collision time belong to nobody).
+        station: u64,
+        /// What the time was spent on.
+        category: AirtimeCategory,
+    },
+    /// One frame's complete MAC lifecycle, emitted when it leaves the
+    /// system (delivered or dropped).
+    FrameSpan {
+        /// Completion time (delivery, or drop after retry exhaustion).
+        t: SimTime,
+        /// Client the frame belongs to.
+        station: u64,
+        /// MSDU payload size.
+        bytes: u64,
+        /// When the frame entered its send queue.
+        enqueue: SimTime,
+        /// When the scheduler released it to the MAC.
+        release: SimTime,
+        /// When its first transmission attempt ended.
+        first_tx: SimTime,
+        /// Transmission attempts consumed (1 = no retries).
+        attempts: u64,
+        /// Total channel occupancy across all attempts (DIFS + frame
+        /// exchange each).
+        airtime: SimDuration,
+        /// Whether the frame was ultimately ACKed.
+        delivered: bool,
+    },
+    /// A run boundary: warm-up elapsed, or the run ended.
+    RunMark {
+        /// Simulation time of the boundary.
+        t: SimTime,
+        /// Which boundary.
+        phase: RunPhase,
+    },
 }
 
 impl EventRecord {
@@ -233,6 +372,9 @@ impl EventRecord {
             EventRecord::TokenUpdate { .. } => "token_update",
             EventRecord::Tcp { .. } => "tcp",
             EventRecord::QueueChange { .. } => "queue_change",
+            EventRecord::AirtimeSlice { .. } => "airtime_slice",
+            EventRecord::FrameSpan { .. } => "frame_span",
+            EventRecord::RunMark { .. } => "run_mark",
         }
     }
 
@@ -246,7 +388,10 @@ impl EventRecord {
             | EventRecord::SchedDecision { t, .. }
             | EventRecord::TokenUpdate { t, .. }
             | EventRecord::Tcp { t, .. }
-            | EventRecord::QueueChange { t, .. } => t,
+            | EventRecord::QueueChange { t, .. }
+            | EventRecord::AirtimeSlice { t, .. }
+            | EventRecord::FrameSpan { t, .. }
+            | EventRecord::RunMark { t, .. } => t,
         }
     }
 
@@ -261,6 +406,7 @@ impl EventRecord {
             }
             EventRecord::TxAttempt {
                 node,
+                client,
                 bytes,
                 rate_mbps,
                 success,
@@ -269,6 +415,7 @@ impl EventRecord {
                 ..
             } => {
                 o.u64("node", *node)
+                    .u64("client", *client)
                     .u64("bytes", *bytes)
                     .f64("rate_mbps", *rate_mbps)
                     .bool("success", *success)
@@ -325,6 +472,41 @@ impl EventRecord {
                     .u64("key", *key)
                     .u64("len", *len);
             }
+            EventRecord::AirtimeSlice {
+                start,
+                dur,
+                station,
+                category,
+                ..
+            } => {
+                o.u64("start_ns", start.as_nanos())
+                    .u64("dur_ns", dur.as_nanos())
+                    .u64("station", *station)
+                    .str("category", category.as_str());
+            }
+            EventRecord::FrameSpan {
+                station,
+                bytes,
+                enqueue,
+                release,
+                first_tx,
+                attempts,
+                airtime,
+                delivered,
+                ..
+            } => {
+                o.u64("station", *station)
+                    .u64("bytes", *bytes)
+                    .u64("enqueue_ns", enqueue.as_nanos())
+                    .u64("release_ns", release.as_nanos())
+                    .u64("first_tx_ns", first_tx.as_nanos())
+                    .u64("attempts", *attempts)
+                    .u64("airtime_ns", airtime.as_nanos())
+                    .bool("delivered", *delivered);
+            }
+            EventRecord::RunMark { phase, .. } => {
+                o.str("phase", phase.as_str());
+            }
         }
         o.finish()
     }
@@ -346,6 +528,17 @@ impl Fields {
         self.get(k)?
             .as_u64()
             .ok_or_else(|| format!("field '{k}' is not an integer"))
+    }
+
+    /// Like [`Fields::u64`], but a missing field yields `default`
+    /// (fields added after a trace format shipped parse this way).
+    fn u64_or(&self, k: &str, default: u64) -> Result<u64, String> {
+        match self.0.iter().find(|(key, _)| key == k) {
+            None => Ok(default),
+            Some((_, v)) => v
+                .as_u64()
+                .ok_or_else(|| format!("field '{k}' is not an integer")),
+        }
     }
 
     fn f64(&self, k: &str) -> Result<f64, String> {
@@ -384,6 +577,10 @@ pub fn parse_line(line: &str) -> Result<EventRecord, String> {
         "tx_attempt" => EventRecord::TxAttempt {
             t,
             node: f.u64("node")?,
+            // Traces written before the ledger landed have no explicit
+            // bill-to client; the transmitter is the right default for
+            // the uplink-only experiments those traces came from.
+            client: f.u64_or("client", f.u64("node")?)?,
             bytes: f.u64("bytes")?,
             rate_mbps: f.f64("rate_mbps")?,
             success: f.bool("success")?,
@@ -430,6 +627,30 @@ pub fn parse_line(line: &str) -> Result<EventRecord, String> {
             key: f.u64("key")?,
             len: f.u64("len")?,
         },
+        "airtime_slice" => EventRecord::AirtimeSlice {
+            t,
+            start: SimTime::from_nanos(f.u64("start_ns")?),
+            dur: SimDuration::from_nanos(f.u64("dur_ns")?),
+            station: f.u64("station")?,
+            category: AirtimeCategory::parse(f.str("category")?)
+                .ok_or_else(|| format!("bad airtime category '{}'", f.str("category").unwrap()))?,
+        },
+        "frame_span" => EventRecord::FrameSpan {
+            t,
+            station: f.u64("station")?,
+            bytes: f.u64("bytes")?,
+            enqueue: SimTime::from_nanos(f.u64("enqueue_ns")?),
+            release: SimTime::from_nanos(f.u64("release_ns")?),
+            first_tx: SimTime::from_nanos(f.u64("first_tx_ns")?),
+            attempts: f.u64("attempts")?,
+            airtime: SimDuration::from_nanos(f.u64("airtime_ns")?),
+            delivered: f.bool("delivered")?,
+        },
+        "run_mark" => EventRecord::RunMark {
+            t,
+            phase: RunPhase::parse(f.str("phase")?)
+                .ok_or_else(|| format!("bad run phase '{}'", f.str("phase").unwrap()))?,
+        },
         other => return Err(format!("unknown record type '{other}'")),
     };
     Ok(rec)
@@ -449,6 +670,7 @@ mod tests {
             EventRecord::TxAttempt {
                 t: SimTime::from_millis(2),
                 node: 2,
+                client: 2,
                 bytes: 1500,
                 rate_mbps: 11.0,
                 success: true,
@@ -492,6 +714,28 @@ mod tests {
                 key: 2,
                 len: 7,
             },
+            EventRecord::AirtimeSlice {
+                t: SimTime::from_millis(7),
+                start: SimTime::from_micros(6200),
+                dur: SimDuration::from_micros(800),
+                station: 0,
+                category: AirtimeCategory::Collision,
+            },
+            EventRecord::FrameSpan {
+                t: SimTime::from_millis(9),
+                station: 1,
+                bytes: 1500,
+                enqueue: SimTime::from_millis(4),
+                release: SimTime::from_micros(4100),
+                first_tx: SimTime::from_micros(5900),
+                attempts: 3,
+                airtime: SimDuration::from_micros(4851),
+                delivered: true,
+            },
+            EventRecord::RunMark {
+                t: SimTime::from_secs(5),
+                phase: RunPhase::Warmup,
+            },
         ]
     }
 
@@ -518,6 +762,19 @@ mod tests {
             &line[..line.len() - 1]
         );
         assert_eq!(parse_line(&extended).unwrap(), rec);
+    }
+
+    #[test]
+    fn tx_attempt_without_client_defaults_to_node() {
+        // Pre-ledger traces lack the "client" field.
+        let line = r#"{"type":"tx_attempt","t_ns":1000,"node":3,"bytes":100,"rate_mbps":11,"success":true,"retry":0,"airtime_ns":2000}"#;
+        match parse_line(line).unwrap() {
+            EventRecord::TxAttempt { node, client, .. } => {
+                assert_eq!(node, 3);
+                assert_eq!(client, 3);
+            }
+            other => panic!("wrong record {other:?}"),
+        }
     }
 
     #[test]

@@ -216,7 +216,11 @@ where
                     s.tcp_rtos += 1;
                 }
             }
-            EventRecord::Mac { .. } | EventRecord::QueueChange { .. } => {}
+            EventRecord::Mac { .. }
+            | EventRecord::QueueChange { .. }
+            | EventRecord::AirtimeSlice { .. }
+            | EventRecord::FrameSpan { .. }
+            | EventRecord::RunMark { .. } => {}
         }
     }
 
@@ -375,6 +379,7 @@ mod tests {
             EventRecord::TxAttempt {
                 t: SimTime::from_micros(100),
                 node: 1,
+                client: 1,
                 bytes: 1500,
                 rate_mbps: 11.0,
                 success: true,
@@ -384,6 +389,7 @@ mod tests {
             EventRecord::TxAttempt {
                 t: SimTime::from_micros(2000),
                 node: 2,
+                client: 2,
                 bytes: 1500,
                 rate_mbps: 1.0,
                 success: false,
@@ -393,6 +399,7 @@ mod tests {
             EventRecord::TxAttempt {
                 t: SimTime::from_micros(16000),
                 node: 2,
+                client: 2,
                 bytes: 1500,
                 rate_mbps: 1.0,
                 success: true,

@@ -24,10 +24,16 @@ pub mod csv;
 pub mod event;
 pub mod inspect;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod observer;
+pub mod spans;
 
-pub use event::{parse_line, EventRecord, MacPhase, QueueSite, TcpPhase, TokenCause};
+pub use event::{
+    parse_line, AirtimeCategory, EventRecord, MacPhase, QueueSite, RunPhase, TcpPhase, TokenCause,
+};
 pub use inspect::{summarize, summarize_file, InspectSummary};
+pub use ledger::{AirtimeLedger, AuditReport, AUDIT_TOLERANCE_NS, CELL};
 pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry};
-pub use observer::{JsonlObserver, MemoryObserver, NullObserver, Observer};
+pub use observer::{JsonlObserver, MemoryObserver, NullObserver, Observer, TeeObserver};
+pub use spans::{SpanCollector, StationDelays};

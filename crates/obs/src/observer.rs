@@ -59,6 +59,17 @@ pub trait Observer {
     /// A queue changed length ([`EventRecord::QueueChange`]).
     fn on_queue_change(&mut self, _rec: EventRecord) {}
 
+    /// One exclusive medium-timeline slice
+    /// ([`EventRecord::AirtimeSlice`]).
+    fn on_airtime_slice(&mut self, _rec: EventRecord) {}
+
+    /// A frame finished its MAC lifecycle
+    /// ([`EventRecord::FrameSpan`]).
+    fn on_frame_span(&mut self, _rec: EventRecord) {}
+
+    /// A run boundary passed ([`EventRecord::RunMark`]).
+    fn on_run_mark(&mut self, _rec: EventRecord) {}
+
     /// Flushes any buffered output. Called once when the run ends.
     fn finish(&mut self) -> io::Result<()> {
         Ok(())
@@ -168,6 +179,18 @@ impl<W: Write> Observer for JsonlObserver<W> {
         self.write(rec);
     }
 
+    fn on_airtime_slice(&mut self, rec: EventRecord) {
+        self.write(rec);
+    }
+
+    fn on_frame_span(&mut self, rec: EventRecord) {
+        self.write(rec);
+    }
+
+    fn on_run_mark(&mut self, rec: EventRecord) {
+        self.write(rec);
+    }
+
     fn finish(&mut self) -> io::Result<()> {
         self.out.flush()?;
         match self.error.take() {
@@ -223,6 +246,71 @@ impl Observer for MemoryObserver {
     fn on_queue_change(&mut self, rec: EventRecord) {
         self.events.push(rec);
     }
+
+    fn on_airtime_slice(&mut self, rec: EventRecord) {
+        self.events.push(rec);
+    }
+
+    fn on_frame_span(&mut self, rec: EventRecord) {
+        self.events.push(rec);
+    }
+
+    fn on_run_mark(&mut self, rec: EventRecord) {
+        self.events.push(rec);
+    }
+}
+
+/// Fans every event out to two observers (for `run --events --ledger`,
+/// where the trace file and the in-process ledger both want the
+/// stream). Active when either side is.
+#[derive(Debug, Default)]
+pub struct TeeObserver<A, B> {
+    /// First receiver.
+    pub a: A,
+    /// Second receiver.
+    pub b: B,
+}
+
+impl<A: Observer, B: Observer> TeeObserver<A, B> {
+    /// Pairs two observers.
+    pub fn new(a: A, b: B) -> Self {
+        TeeObserver { a, b }
+    }
+}
+
+macro_rules! tee_forward {
+    ($($hook:ident),*) => {
+        $(fn $hook(&mut self, rec: EventRecord) {
+            self.a.$hook(rec.clone());
+            self.b.$hook(rec);
+        })*
+    };
+}
+
+impl<A: Observer, B: Observer> Observer for TeeObserver<A, B> {
+    fn active(&self) -> bool {
+        self.a.active() || self.b.active()
+    }
+
+    tee_forward!(
+        on_mac_event,
+        on_tx_attempt,
+        on_collision,
+        on_backoff,
+        on_sched_decision,
+        on_token_update,
+        on_tcp_event,
+        on_queue_change,
+        on_airtime_slice,
+        on_frame_span,
+        on_run_mark
+    );
+
+    fn finish(&mut self) -> io::Result<()> {
+        let ra = self.a.finish();
+        let rb = self.b.finish();
+        ra.and(rb)
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +358,19 @@ mod tests {
         }
         assert_eq!(o.events.len(), 5);
         assert_eq!(o.events[3], sample(3));
+    }
+
+    #[test]
+    fn tee_observer_feeds_both_sides() {
+        let mut o = TeeObserver::new(MemoryObserver::new(), MemoryObserver::new());
+        assert!(o.active());
+        o.on_mac_event(sample(1));
+        o.on_airtime_slice(sample(2));
+        assert_eq!(o.a.events, o.b.events);
+        assert_eq!(o.a.events.len(), 2);
+        assert!(o.finish().is_ok());
+        let inactive = TeeObserver::new(NullObserver, NullObserver);
+        assert!(!inactive.active());
     }
 
     struct FailingWriter;

@@ -1,0 +1,372 @@
+//! Per-frame lifecycle span rollups: where did a frame's latency go?
+//!
+//! Each [`EventRecord::FrameSpan`] carries the timestamps of one
+//! frame's life (enqueue → scheduler release → first attempt →
+//! completion) plus its total channel occupancy. [`SpanCollector`]
+//! decomposes that into three delays and reports per-station
+//! percentiles:
+//!
+//! - **queueing** = release − enqueue: time spent waiting in the send
+//!   queue behind other frames (the AP scheduler's domain);
+//! - **contention** = completion − release − airtime: time the MAC
+//!   spent backing off and retrying beyond the air transmissions
+//!   themselves;
+//! - **head-of-line** = first_tx − release: how long the frame's first
+//!   channel access took, the delay it imposed on everything queued
+//!   behind it.
+//!
+//! This is the mechanism behind the paper's §4.4 delay results: a slow
+//! station under packet fairness inflates everyone's head-of-line
+//! delay, while time-based fairness bounds it.
+//!
+//! [`SpanCollector`] implements [`Observer`] so it can watch a live
+//! run, and rebuilds from a trace file for `inspect --spans`. Like the
+//! ledger, it resets at the warm-up [`EventRecord::RunMark`].
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use airtime_sim::SimTime;
+
+use crate::csv::Csv;
+use crate::event::{parse_line, EventRecord, RunPhase};
+use crate::observer::Observer;
+
+/// The percentiles every delay column reports.
+pub const PERCENTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// Exact nearest-rank percentile of a sorted sample; `None` when
+/// empty.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank - 1])
+}
+
+#[derive(Clone, Debug, Default)]
+struct StationAcc {
+    station: u64,
+    frames: u64,
+    delivered: u64,
+    attempts: u64,
+    queueing_ms: Vec<f64>,
+    contention_ms: Vec<f64>,
+    hol_ms: Vec<f64>,
+}
+
+/// One station's delay breakdown, percentiles in milliseconds.
+#[derive(Clone, Debug)]
+pub struct StationDelays {
+    /// Client id.
+    pub station: u64,
+    /// Frames that completed (delivered or dropped).
+    pub frames: u64,
+    /// Frames that were ACKed.
+    pub delivered: u64,
+    /// Mean transmission attempts per frame.
+    pub mean_attempts: f64,
+    /// Queueing delay `[p50, p95, p99]`, ms.
+    pub queueing_ms: [f64; 3],
+    /// Contention delay `[p50, p95, p99]`, ms.
+    pub contention_ms: [f64; 3],
+    /// Head-of-line delay `[p50, p95, p99]`, ms.
+    pub hol_ms: [f64; 3],
+}
+
+/// Collects frame spans and rolls them up per station.
+#[derive(Clone, Debug, Default)]
+pub struct SpanCollector {
+    accs: Vec<StationAcc>,
+    total: u64,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one record; everything but `frame_span` and the warm-up
+    /// `run_mark` is ignored.
+    pub fn record(&mut self, rec: &EventRecord) {
+        match *rec {
+            EventRecord::FrameSpan {
+                t,
+                station,
+                enqueue,
+                release,
+                first_tx,
+                attempts,
+                airtime,
+                delivered,
+                ..
+            } => self.on_span(
+                t, station, enqueue, release, first_tx, attempts, airtime, delivered,
+            ),
+            EventRecord::RunMark {
+                phase: RunPhase::Warmup,
+                ..
+            } => {
+                self.accs.clear();
+                self.total = 0;
+            }
+            _ => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_span(
+        &mut self,
+        t: SimTime,
+        station: u64,
+        enqueue: SimTime,
+        release: SimTime,
+        first_tx: SimTime,
+        attempts: u64,
+        airtime: airtime_sim::SimDuration,
+        delivered: bool,
+    ) {
+        self.total += 1;
+        let acc = match self.accs.iter_mut().find(|a| a.station == station) {
+            Some(a) => a,
+            None => {
+                self.accs.push(StationAcc {
+                    station,
+                    ..Default::default()
+                });
+                self.accs.last_mut().unwrap()
+            }
+        };
+        acc.frames += 1;
+        if delivered {
+            acc.delivered += 1;
+        }
+        acc.attempts += attempts;
+        let ms = 1e3;
+        acc.queueing_ms
+            .push(release.saturating_since(enqueue).as_secs_f64() * ms);
+        let contention = t.saturating_since(release).as_secs_f64() - airtime.as_secs_f64();
+        acc.contention_ms.push(contention.max(0.0) * ms);
+        acc.hol_ms
+            .push(first_tx.saturating_since(release).as_secs_f64() * ms);
+    }
+
+    /// Rebuilds a collector from a JSONL trace on disk.
+    pub fn from_file(path: &Path) -> std::io::Result<Self> {
+        let reader = BufReader::new(File::open(path)?);
+        let mut c = SpanCollector::new();
+        for line in reader.lines() {
+            let line = line?;
+            if let Ok(rec) = parse_line(line.trim()) {
+                c.record(&rec);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Spans accumulated since the last warm-up mark.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-station rollups, in station id order.
+    pub fn summary(&self) -> Vec<StationDelays> {
+        let mut accs = self.accs.clone();
+        accs.sort_by_key(|a| a.station);
+        accs.into_iter()
+            .map(|mut a| {
+                let triple = |xs: &mut Vec<f64>| {
+                    xs.sort_by(f64::total_cmp);
+                    let mut out = [0.0; 3];
+                    for (o, &q) in out.iter_mut().zip(PERCENTILES.iter()) {
+                        *o = percentile(xs, q).unwrap_or(0.0);
+                    }
+                    out
+                };
+                StationDelays {
+                    station: a.station,
+                    frames: a.frames,
+                    delivered: a.delivered,
+                    mean_attempts: if a.frames > 0 {
+                        a.attempts as f64 / a.frames as f64
+                    } else {
+                        0.0
+                    },
+                    queueing_ms: triple(&mut a.queueing_ms),
+                    contention_ms: triple(&mut a.contention_ms),
+                    hol_ms: triple(&mut a.hol_ms),
+                }
+            })
+            .collect()
+    }
+
+    /// The rollup as a CSV document (schema `airtime-spans` v1).
+    pub fn to_csv(&self) -> String {
+        let mut csv = Csv::new(
+            "airtime-spans",
+            1,
+            &[
+                "station",
+                "frames",
+                "delivered",
+                "mean_attempts",
+                "queueing_p50_ms",
+                "queueing_p95_ms",
+                "queueing_p99_ms",
+                "contention_p50_ms",
+                "contention_p95_ms",
+                "contention_p99_ms",
+                "hol_p50_ms",
+                "hol_p95_ms",
+                "hol_p99_ms",
+            ],
+        );
+        for d in self.summary() {
+            let mut row = vec![
+                d.station.to_string(),
+                d.frames.to_string(),
+                d.delivered.to_string(),
+                crate::json::num(d.mean_attempts),
+            ];
+            for group in [&d.queueing_ms, &d.contention_ms, &d.hol_ms] {
+                row.extend(group.iter().map(|&v| crate::json::num(v)));
+            }
+            csv.row(&row);
+        }
+        csv.finish()
+    }
+}
+
+impl Observer for SpanCollector {
+    fn on_frame_span(&mut self, rec: EventRecord) {
+        self.record(&rec);
+    }
+
+    fn on_run_mark(&mut self, rec: EventRecord) {
+        self.record(&rec);
+    }
+}
+
+impl fmt::Display for SpanCollector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let summary = self.summary();
+        writeln!(f, "frame spans: {}", self.total)?;
+        if summary.is_empty() {
+            return Ok(());
+        }
+        writeln!(
+            f,
+            "  {:>7}  {:>7}  {:>5}  {:>21}  {:>21}  {:>21}",
+            "station",
+            "frames",
+            "att",
+            "queueing p50/95/99 ms",
+            "contention p50/95/99",
+            "head-of-line p50/95/99"
+        )?;
+        for d in summary {
+            writeln!(
+                f,
+                "  {:>7}  {:>7}  {:>5.2}  {:>6.2} {:>6.2} {:>6.2}  {:>6.2} {:>6.2} {:>6.2}  {:>6.2} {:>6.2} {:>6.2}",
+                d.station,
+                d.frames,
+                d.mean_attempts,
+                d.queueing_ms[0],
+                d.queueing_ms[1],
+                d.queueing_ms[2],
+                d.contention_ms[0],
+                d.contention_ms[1],
+                d.contention_ms[2],
+                d.hol_ms[0],
+                d.hol_ms[1],
+                d.hol_ms[2],
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airtime_sim::SimDuration;
+
+    fn span(station: u64, enqueue_us: u64, release_us: u64, done_us: u64) -> EventRecord {
+        EventRecord::FrameSpan {
+            t: SimTime::from_micros(done_us),
+            station,
+            bytes: 1500,
+            enqueue: SimTime::from_micros(enqueue_us),
+            release: SimTime::from_micros(release_us),
+            first_tx: SimTime::from_micros(release_us + 500),
+            attempts: 2,
+            airtime: SimDuration::from_micros(1000),
+            delivered: true,
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.5), Some(2.0));
+        assert_eq!(percentile(&xs, 0.95), Some(4.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn delays_decompose() {
+        let mut c = SpanCollector::new();
+        // queueing 2 ms, contention 8 − 1 (airtime) = 7 ms, hol 0.5 ms.
+        c.record(&span(1, 1000, 3000, 11_000));
+        let s = c.summary();
+        assert_eq!(s.len(), 1);
+        let d = &s[0];
+        assert_eq!(d.frames, 1);
+        assert_eq!(d.delivered, 1);
+        assert!((d.mean_attempts - 2.0).abs() < 1e-12);
+        assert!((d.queueing_ms[0] - 2.0).abs() < 1e-9);
+        assert!((d.contention_ms[0] - 7.0).abs() < 1e-9);
+        assert!((d.hol_ms[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_mark_resets() {
+        let mut c = SpanCollector::new();
+        c.record(&span(1, 0, 0, 2000));
+        c.record(&EventRecord::RunMark {
+            t: SimTime::from_micros(5000),
+            phase: RunPhase::Warmup,
+        });
+        c.record(&span(2, 6000, 6000, 8000));
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.summary()[0].station, 2);
+    }
+
+    #[test]
+    fn csv_has_schema_and_one_row_per_station() {
+        let mut c = SpanCollector::new();
+        c.record(&span(2, 0, 1000, 5000));
+        c.record(&span(1, 0, 2000, 9000));
+        let csv = c.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# schema: airtime-spans v1; columns: 13");
+        assert!(lines[1].starts_with("station,frames,delivered,mean_attempts,queueing_p50_ms"));
+        assert!(lines[2].starts_with("1,1,1,2,"));
+        assert!(lines[3].starts_with("2,1,1,2,"));
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut c = SpanCollector::new();
+        c.record(&span(1, 0, 1000, 5000));
+        let text = c.to_string();
+        assert!(text.contains("frame spans: 1"));
+        assert!(text.contains("queueing"));
+    }
+}

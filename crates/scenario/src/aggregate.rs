@@ -1,6 +1,7 @@
 //! Per-cell aggregation: reduces each job's [`Report`] to the numbers
 //! a sweep table reports, and evaluates the baseline-property check.
 
+use airtime_obs::StationDelays;
 use airtime_sim::stats::jain_index;
 use airtime_wlan::{Report, SchedulerKind};
 
@@ -15,6 +16,12 @@ pub struct CellStation {
     pub goodput_mbps: f64,
     /// Share of all clients' channel occupancy.
     pub airtime_share: f64,
+    /// p95 time a frame waited in its queue before the MAC took it, ms.
+    pub queueing_p95_ms: f64,
+    /// p95 contention delay (MAC lifetime beyond pure airtime), ms.
+    pub contention_p95_ms: f64,
+    /// p95 head-of-line delay (MAC release to first attempt), ms.
+    pub hol_p95_ms: f64,
 }
 
 /// Outcome of the baseline-property check for one cell.
@@ -124,21 +131,30 @@ fn evaluate_check(spec: &ScenarioSpec, report: &Report) -> CheckOutcome {
     }
 }
 
-/// Reduces one finished job to its [`Cell`].
+/// Reduces one finished job to its [`Cell`]. `delays` is the job's
+/// per-station frame-lifecycle summary (station ids are node indices,
+/// i.e. station + 1); stations with no finished frames report zeros.
 pub fn aggregate(
     index: usize,
     coords: Vec<(String, String)>,
     spec: &ScenarioSpec,
     report: &Report,
+    delays: &[StationDelays],
 ) -> Cell {
     let stations: Vec<CellStation> = report
         .nodes
         .iter()
         .enumerate()
-        .map(|(i, nd)| CellStation {
-            rate: spec.rate_labels.get(i).cloned().unwrap_or_default(),
-            goodput_mbps: nd.goodput_mbps,
-            airtime_share: nd.occupancy_share,
+        .map(|(i, nd)| {
+            let d = delays.iter().find(|d| d.station == (i + 1) as u64);
+            CellStation {
+                rate: spec.rate_labels.get(i).cloned().unwrap_or_default(),
+                goodput_mbps: nd.goodput_mbps,
+                airtime_share: nd.occupancy_share,
+                queueing_p95_ms: d.map_or(0.0, |d| d.queueing_ms[1]),
+                contention_p95_ms: d.map_or(0.0, |d| d.contention_ms[1]),
+                hol_p95_ms: d.map_or(0.0, |d| d.hol_ms[1]),
+            }
         })
         .collect();
     let goodputs: Vec<f64> = stations.iter().map(|s| s.goodput_mbps).collect();

@@ -64,7 +64,10 @@ pub fn to_json(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
             let mut o = Obj::new();
             o.str("rate", &s.rate)
                 .f64("goodput_mbps", s.goodput_mbps)
-                .f64("airtime_share", s.airtime_share);
+                .f64("airtime_share", s.airtime_share)
+                .f64("queueing_p95_ms", s.queueing_p95_ms)
+                .f64("contention_p95_ms", s.contention_p95_ms)
+                .f64("hol_p95_ms", s.hol_p95_ms);
             stations.push_str(&o.finish());
         }
         stations.push(']');
@@ -108,6 +111,9 @@ pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
         columns.push(format!("rate{i}"));
         columns.push(format!("goodput{i}_mbps"));
         columns.push(format!("airtime{i}_share"));
+        columns.push(format!("queueing{i}_p95_ms"));
+        columns.push(format!("contention{i}_p95_ms"));
+        columns.push(format!("hol{i}_p95_ms"));
     }
     let mut csv = Csv::new(&format!("{SCHEMA}:{scenario}"), VERSION, &columns);
     for c in cells {
@@ -124,11 +130,14 @@ pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
                     cells_row.push(s.rate.clone());
                     cells_row.push(num(s.goodput_mbps));
                     cells_row.push(num(s.airtime_share));
+                    cells_row.push(num(s.queueing_p95_ms));
+                    cells_row.push(num(s.contention_p95_ms));
+                    cells_row.push(num(s.hol_p95_ms));
                 }
                 None => {
-                    cells_row.push(String::new());
-                    cells_row.push(String::new());
-                    cells_row.push(String::new());
+                    for _ in 0..6 {
+                        cells_row.push(String::new());
+                    }
                 }
             }
         }
@@ -158,11 +167,17 @@ mod tests {
                     rate: "11M".into(),
                     goodput_mbps: total * 0.75,
                     airtime_share: 0.5,
+                    queueing_p95_ms: 12.5,
+                    contention_p95_ms: 3.25,
+                    hol_p95_ms: 1.5,
                 },
                 CellStation {
                     rate: "1M".into(),
                     goodput_mbps: total * 0.25,
                     airtime_share: 0.5,
+                    queueing_p95_ms: 80.0,
+                    contention_p95_ms: 6.0,
+                    hol_p95_ms: 2.0,
                 },
             ],
             total_mbps: total,
@@ -195,10 +210,12 @@ mod tests {
         let (axes, cells) = sample();
         let csv = to_csv("demo", &axes, &cells);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "# schema: airtime-sweep:demo v1; columns: 13");
+        assert_eq!(lines[0], "# schema: airtime-sweep:demo v1; columns: 19");
         assert_eq!(
             lines[1],
-            "job,scheduler,total_mbps,utilization,jain_throughput,jain_airtime,check,rate0,goodput0_mbps,airtime0_share,rate1,goodput1_mbps,airtime1_share"
+            "job,scheduler,total_mbps,utilization,jain_throughput,jain_airtime,check,\
+             rate0,goodput0_mbps,airtime0_share,queueing0_p95_ms,contention0_p95_ms,hol0_p95_ms,\
+             rate1,goodput1_mbps,airtime1_share,queueing1_p95_ms,contention1_p95_ms,hol1_p95_ms"
         );
         assert!(lines[2].starts_with("0,fifo,1.34,0.9,0.8,1,fail,11M,"));
         assert!(lines[3].starts_with("1,tbr,2.25,0.9,0.8,1,pass,11M,"));

@@ -148,8 +148,18 @@ pub fn run_sweep(
         .unwrap_or_else(|| "scenario".to_string());
     let strict = jobs.first().map(|j| j.spec.check.strict).unwrap_or(false);
     let (cells, stats) = pool::run_parallel(&jobs, threads, |_, job| {
-        let report = airtime_wlan::run(&job.spec.cfg);
-        aggregate::aggregate(job.index, job.coords.clone(), &job.spec, &report)
+        // Collect frame-lifecycle spans alongside the run: observation
+        // is effect-only (the RNG stream is untouched), so observed
+        // sweeps stay byte-identical to unobserved ones.
+        let mut spans = airtime_obs::SpanCollector::new();
+        let report = airtime_wlan::run_observed(&job.spec.cfg, &mut spans);
+        aggregate::aggregate(
+            job.index,
+            job.coords.clone(),
+            &job.spec,
+            &report,
+            &spans.summary(),
+        )
     });
     let outcome = SweepOutcome {
         name,

@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 
 use airtime_scenario::{compile, emit, expand, load, run_sweep_text, CheckOutcome};
 use airtime_sim::SimDuration;
-use airtime_wlan::SchedulerKind;
+use airtime_wlan::{scenarios, Direction, NetworkConfig, SchedulerKind, Transport};
 
 fn example(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -52,6 +52,76 @@ fn fig9_example_expands_to_the_binary_loop_nest() {
     assert_eq!(coord(5), ["down", "1", "tbr"]);
     assert_eq!(coord(6), ["up", "5.5", "rr"]);
     assert_eq!(coord(11), ["up", "1", "tbr"]);
+}
+
+/// Shortens both configs identically and checks that running them
+/// yields bit-identical results — the scenario file is the same
+/// experiment as the binary's hard-coded config, seed for seed.
+fn assert_runs_agree(name: &str, mut from_toml: NetworkConfig, mut from_binary: NetworkConfig) {
+    for cfg in [&mut from_toml, &mut from_binary] {
+        cfg.duration = SimDuration::from_secs(3);
+        cfg.warmup = SimDuration::from_secs(1);
+    }
+    let a = airtime_wlan::run(&from_toml);
+    let b = airtime_wlan::run(&from_binary);
+    assert_eq!(a.total_goodput_mbps, b.total_goodput_mbps, "{name}");
+    assert_eq!(a.mac.attempts, b.mac.attempts, "{name}");
+    assert_eq!(a.mac.collision_events, b.mac.collision_events, "{name}");
+    assert_eq!(a.flows.len(), b.flows.len(), "{name}");
+    for (fa, fb) in a.flows.iter().zip(&b.flows) {
+        assert_eq!(fa.goodput_mbps, fb.goodput_mbps, "{name}");
+    }
+    for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(na.occupancy_share, nb.occupancy_share, "{name}");
+    }
+}
+
+#[test]
+fn table3_example_agrees_with_the_bench_binary_seed_for_seed() {
+    let doc = load(&example("table3_four_nodes.toml")).unwrap();
+    let (axes, jobs) = expand(&doc, "table3").unwrap();
+    assert_eq!(axes.len(), 1);
+    assert_eq!(axes[0].name, "scheduler");
+    assert_eq!(jobs.len(), 2);
+    assert_eq!(jobs[0].spec.rate_labels, ["1M", "2M", "11M", "11M"]);
+    // The binary runs `measure(four_node_mix(..))`: 60 s, 5 s warm-up.
+    assert_eq!(jobs[0].spec.cfg.duration, SimDuration::from_secs(60));
+    assert_eq!(jobs[0].spec.cfg.warmup, SimDuration::from_secs(5));
+    for (job, sched) in jobs
+        .into_iter()
+        .zip([SchedulerKind::Fifo, SchedulerKind::tbr()])
+    {
+        assert_runs_agree(
+            &format!("table3/{:?}", sched),
+            job.spec.cfg,
+            scenarios::four_node_mix(sched),
+        );
+    }
+}
+
+#[test]
+fn fig4_example_agrees_with_the_bench_binary_seed_for_seed() {
+    let doc = load(&example("fig4_updown_baseline.toml")).unwrap();
+    let (axes, jobs) = expand(&doc, "fig4").unwrap();
+    // The binary nests `for transport { for direction }`; the sweep's
+    // row-major order must match: transport slowest, direction fastest.
+    let names: Vec<&str> = axes.iter().map(|a| a.name.as_str()).collect();
+    assert_eq!(names, ["station.0.transport", "direction"]);
+    assert_eq!(jobs.len(), 4);
+    let nest = [
+        (Transport::Udp, Direction::Uplink),
+        (Transport::Udp, Direction::Downlink),
+        (Transport::Tcp, Direction::Uplink),
+        (Transport::Tcp, Direction::Downlink),
+    ];
+    for (job, (transport, direction)) in jobs.into_iter().zip(nest) {
+        assert_eq!(job.spec.cfg.stations.len(), 3);
+        assert_runs_agree(
+            &format!("fig4/{transport:?}/{direction:?}"),
+            job.spec.cfg,
+            scenarios::updown_baseline(3, transport, direction, SchedulerKind::RoundRobin),
+        );
+    }
 }
 
 #[test]

@@ -18,6 +18,7 @@ pub struct LoopProfiler {
     // Static labels keep counting allocation-free; the event loop has a
     // small closed set of event types, so a linear scan beats a map.
     counts: Vec<(&'static str, u64)>,
+    times: Vec<(&'static str, Duration)>,
     laps: Vec<Duration>,
 }
 
@@ -35,6 +36,7 @@ impl LoopProfiler {
             started: now,
             lap_start: now,
             counts: Vec::new(),
+            times: Vec::new(),
             laps: Vec::new(),
         }
     }
@@ -51,6 +53,20 @@ impl LoopProfiler {
         self.counts.push((label, 1));
     }
 
+    /// Counts one dispatched event under `label` and attributes `cost`
+    /// of host wall-clock time to it.
+    #[inline]
+    pub fn count_timed(&mut self, label: &'static str, cost: Duration) {
+        self.count(label);
+        for slot in &mut self.times {
+            if slot.0 == label {
+                slot.1 += cost;
+                return;
+            }
+        }
+        self.times.push((label, cost));
+    }
+
     /// Ends the current lap (one simulated second) and starts the next.
     pub fn lap(&mut self) {
         let now = Instant::now();
@@ -61,6 +77,12 @@ impl LoopProfiler {
     /// Per-label event counts, in first-seen order.
     pub fn counts(&self) -> &[(&'static str, u64)] {
         &self.counts
+    }
+
+    /// Cumulative per-label dispatch wall-time, in first-seen order.
+    /// Only labels counted via [`LoopProfiler::count_timed`] appear.
+    pub fn times(&self) -> &[(&'static str, Duration)] {
+        &self.times
     }
 
     /// Total events counted.
@@ -101,6 +123,22 @@ mod tests {
         p.count("tx_end");
         assert_eq!(p.counts(), &[("tx_end", 2), ("tick", 1)]);
         assert_eq!(p.total_events(), 3);
+    }
+
+    #[test]
+    fn timed_counts_accumulate_cost() {
+        let mut p = LoopProfiler::new();
+        p.count_timed("tx_end", Duration::from_micros(5));
+        p.count_timed("tx_end", Duration::from_micros(7));
+        p.count_timed("tick", Duration::from_micros(1));
+        assert_eq!(p.counts(), &[("tx_end", 2), ("tick", 1)]);
+        assert_eq!(
+            p.times(),
+            &[
+                ("tx_end", Duration::from_micros(12)),
+                ("tick", Duration::from_micros(1))
+            ]
+        );
     }
 
     #[test]

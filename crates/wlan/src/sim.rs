@@ -19,14 +19,16 @@ use airtime_core::{
     ApScheduler, ClientId, DrrScheduler, EnqueueOutcome, FifoScheduler, QueuedPacket,
     RoundRobinScheduler, TbrScheduler, TxopScheduler,
 };
-use airtime_mac::{DcfConfig, DcfWorld, Frame, FrameOutcome, MacEffect, MacEvent, NodeId};
+use airtime_mac::{
+    DcfConfig, DcfWorld, Frame, FrameOutcome, MacEffect, MacEvent, NodeId, SliceKind,
+};
 use airtime_net::{
     FlowId, Packet, PacketKind, RateLimiter, ReceiverEffect, SenderEffect, TcpReceiver, TcpSender,
     UdpConfig, UdpSource,
 };
 use airtime_obs::{
-    CounterId, EventRecord, GaugeId, HistId, MacPhase, MetricsRegistry, NullObserver, Observer,
-    QueueSite, TcpPhase, TokenCause,
+    AirtimeCategory, CounterId, EventRecord, GaugeId, HistId, MacPhase, MetricsRegistry,
+    NullObserver, Observer, QueueSite, RunPhase, TcpPhase, TokenCause,
 };
 use airtime_phy::{Arf, DataRate, LinkErrorModel};
 use airtime_sim::{EventQueue, Histogram, LoopProfiler, RateMeter, SimDuration, SimRng, SimTime};
@@ -144,6 +146,18 @@ struct FlowRt {
     pump_pending: bool,
 }
 
+/// Lifecycle of one MAC-level frame, tracked from queue entry to the
+/// MAC's final verdict and emitted as an [`EventRecord::FrameSpan`].
+/// Only populated when the observer is active.
+struct SpanTrack {
+    station: u64,
+    bytes: u64,
+    enqueue: SimTime,
+    release: SimTime,
+    first_tx: Option<SimTime>,
+    attempts: u64,
+}
+
 /// How often the metrics registry snapshots its counters and gauges
 /// into the exported time-series.
 const METRICS_PERIOD: SimDuration = SimDuration::from_millis(100);
@@ -172,6 +186,8 @@ struct Instr<'m> {
     // Per-scheduler-key TBR token balances (empty for non-TBR runs).
     tokens: Vec<GaugeId>,
     attempt_airtime: HistId,
+    /// Event-queue depth sampled at every dispatch.
+    queue_depth: HistId,
 }
 
 struct Sim<'c, O: Observer> {
@@ -190,6 +206,9 @@ struct Sim<'c, O: Observer> {
     /// Frame handle → (packet, time it entered the AP/client queue),
     /// for frames in the MAC or AP queues.
     in_transit: HashMap<u64, (Packet, SimTime)>,
+    /// Frame handle → lifecycle span, from MAC offer to TxFinal.
+    /// Empty unless the observer is active.
+    spans: HashMap<u64, SpanTrack>,
     next_handle: u64,
     occupancy_at_warmup: Vec<SimDuration>,
     busy_at_warmup: SimDuration,
@@ -254,17 +273,24 @@ pub fn run_instrumented<O: Observer>(
             break;
         }
         sim.now = t;
-        if sim.instr.is_some() {
-            sim.profile_event(&ev);
-        }
+        let label = event_label(&ev);
+        let depth = sim.queue.len();
+        let t0 = sim.instr.as_mut().map(|instr| {
+            instr.reg.observe(instr.queue_depth, depth as f64);
+            std::time::Instant::now()
+        });
         sim.dispatch(ev);
         sim.pump_all();
         sim.kick_all();
-        if sim.instr.is_some() {
+        if let Some(t0) = t0 {
+            if let Some(instr) = sim.instr.as_mut() {
+                instr.profiler.count_timed(label, t0.elapsed());
+            }
             sim.advance_instr();
         }
     }
     sim.now = end;
+    sim.finish_airtime(end);
     sim.finish_instr();
     sim.report()
 }
@@ -329,9 +355,10 @@ impl<'c, O: Observer> Sim<'c, O> {
             links,
             rng.substream(1),
         );
-        // Backoff draws happen either way; this only controls whether
-        // the MAC reports them as effects.
+        // Backoff draws happen either way; these only control whether
+        // the MAC reports them as effects — neither touches the RNG.
         mac.set_emit_backoff(obs.active());
+        mac.set_emit_airtime(obs.active());
         let mut sched = match &cfg.scheduler {
             SchedulerKind::Fifo => Sched::Fifo(FifoScheduler::default()),
             SchedulerKind::RoundRobin => Sched::Rr(RoundRobinScheduler::default()),
@@ -441,6 +468,7 @@ impl<'c, O: Observer> Sim<'c, O> {
                 shares,
                 tokens,
                 attempt_airtime: reg.histogram("mac.attempt_airtime_us", 0.0, 20_000.0, 100),
+                queue_depth: reg.histogram("sim.queue_depth", 0.0, 512.0, 128),
                 reg,
             }
         });
@@ -457,6 +485,7 @@ impl<'c, O: Observer> Sim<'c, O> {
             arf,
             fixed_rate,
             in_transit: HashMap::new(),
+            spans: HashMap::new(),
             next_handle: 0,
             occupancy_at_warmup: vec![SimDuration::ZERO; n + 1],
             busy_at_warmup: SimDuration::ZERO,
@@ -508,12 +537,6 @@ impl<'c, O: Observer> Sim<'c, O> {
     // Everything below reads simulator state but never mutates it (and
     // never touches the RNG), so instrumented runs follow exactly the
     // same trajectory as plain ones.
-
-    fn profile_event(&mut self, ev: &Event) {
-        if let Some(instr) = self.instr.as_mut() {
-            instr.profiler.count(event_label(ev));
-        }
-    }
 
     /// Takes any due metric snapshots and wall-clock laps.
     fn advance_instr(&mut self) {
@@ -613,6 +636,11 @@ impl<'c, O: Observer> Sim<'c, O> {
             let id = instr.reg.counter(&format!("profile.events.{label}"));
             instr.reg.set_counter(id, n);
         }
+        let times: Vec<(&'static str, std::time::Duration)> = instr.profiler.times().to_vec();
+        for (label, d) in times {
+            let id = instr.reg.gauge(&format!("profile.dispatch_us.{label}"));
+            instr.reg.set(id, d.as_secs_f64() * 1e6);
+        }
         let wall = instr.profiler.wall_total().as_secs_f64();
         let id = instr.reg.gauge("profile.wall_s");
         instr.reg.set(id, wall);
@@ -627,6 +655,22 @@ impl<'c, O: Observer> Sim<'c, O> {
             0.0
         };
         instr.reg.set(id, rate);
+    }
+
+    /// Emits the airtime timeline's tail — the in-progress cycle (or
+    /// trailing idle/contention stretch) clipped at `end` — plus the
+    /// end-of-run mark, so that a trace audits on its own: the slices
+    /// tile `[0, end]` exactly.
+    fn finish_airtime(&mut self, end: SimTime) {
+        if !self.obs.active() {
+            return;
+        }
+        let fx = self.mac.drain_airtime_tail(end);
+        self.apply_mac_effects(fx);
+        self.obs.on_run_mark(EventRecord::RunMark {
+            t: end,
+            phase: RunPhase::End,
+        });
     }
 
     // -- observer emission helpers ---------------------------------------
@@ -740,6 +784,15 @@ impl<'c, O: Observer> Sim<'c, O> {
                     self.occupancy_at_warmup[node] = self.mac.occupancy(NodeId(node));
                 }
                 self.busy_at_warmup = self.mac.busy_time();
+                // In-stream warm-up mark: ledger readers latch their
+                // measurement window at exactly the point the report's
+                // occupancy baseline is taken.
+                if self.obs.active() {
+                    self.obs.on_run_mark(EventRecord::RunMark {
+                        t: self.now,
+                        phase: RunPhase::Warmup,
+                    });
+                }
             }
         }
     }
@@ -783,6 +836,30 @@ impl<'c, O: Observer> Sim<'c, O> {
                         });
                     }
                 }
+                MacEffect::AirtimeSlice {
+                    start,
+                    dur,
+                    client,
+                    kind,
+                } => {
+                    if self.obs.active() {
+                        let category = match kind {
+                            SliceKind::DataTx => AirtimeCategory::DataTx,
+                            SliceKind::Ack => AirtimeCategory::Ack,
+                            SliceKind::MacOverhead => AirtimeCategory::MacOverhead,
+                            SliceKind::Backoff => AirtimeCategory::Backoff,
+                            SliceKind::Collision => AirtimeCategory::Collision,
+                            SliceKind::Idle => AirtimeCategory::Idle,
+                        };
+                        self.obs.on_airtime_slice(EventRecord::AirtimeSlice {
+                            t: self.now,
+                            start,
+                            dur,
+                            station: client as u64,
+                            category,
+                        });
+                    }
+                }
                 MacEffect::Attempt {
                     frame,
                     success,
@@ -790,23 +867,28 @@ impl<'c, O: Observer> Sim<'c, O> {
                     airtime,
                     retry,
                 } => {
+                    let node = client_node(&frame);
                     if self.obs.active() {
                         self.obs.on_tx_attempt(EventRecord::TxAttempt {
                             t: self.now,
                             node: frame.src.index() as u64,
+                            client: node as u64,
                             bytes: frame.msdu_bytes,
                             rate_mbps: frame.rate.mbps(),
                             success,
                             retry: retry as u64,
                             airtime,
                         });
+                        if let Some(s) = self.spans.get_mut(&frame.handle) {
+                            s.attempts += 1;
+                            s.first_tx.get_or_insert(self.now);
+                        }
                     }
                     if let Some(instr) = self.instr.as_mut() {
                         instr
                             .reg
                             .observe(instr.attempt_airtime, airtime.as_secs_f64() * 1e6);
                     }
-                    let node = client_node(&frame);
                     if frame.src == AP && !collision {
                         // Downlink attempts reveal the link's loss rate
                         // (collisions are contention, not channel loss).
@@ -846,6 +928,19 @@ impl<'c, O: Observer> Sim<'c, O> {
                             phase,
                             node: frame.src.index() as u64,
                         });
+                        if let Some(s) = self.spans.remove(&frame.handle) {
+                            self.obs.on_frame_span(EventRecord::FrameSpan {
+                                t: self.now,
+                                station: s.station,
+                                bytes: s.bytes,
+                                enqueue: s.enqueue,
+                                release: s.release,
+                                first_tx: s.first_tx.unwrap_or(s.release),
+                                attempts: s.attempts,
+                                airtime: airtime_total,
+                                delivered: matches!(outcome, FrameOutcome::Delivered),
+                            });
+                        }
                     }
                     self.on_tx_final(frame, outcome, airtime_total)
                 }
@@ -1219,6 +1314,23 @@ impl<'c, O: Observer> Sim<'c, O> {
                 }
                 let station = self.station_of_key(q.client);
                 let node = station + 1;
+                if self.obs.active() {
+                    let enqueue = self
+                        .in_transit
+                        .get(&q.handle)
+                        .map_or(self.now, |&(_, born)| born);
+                    self.spans.insert(
+                        q.handle,
+                        SpanTrack {
+                            station: node as u64,
+                            bytes: q.bytes,
+                            enqueue,
+                            release: self.now,
+                            first_tx: None,
+                            attempts: 0,
+                        },
+                    );
+                }
                 let frame = Frame {
                     src: AP,
                     dst: NodeId(node),
@@ -1239,6 +1351,19 @@ impl<'c, O: Observer> Sim<'c, O> {
                 if let Some((pkt, born)) = self.client_q[node].pop_front() {
                     self.emit_client_queue(node);
                     let handle = self.new_handle(pkt, born);
+                    if self.obs.active() {
+                        self.spans.insert(
+                            handle,
+                            SpanTrack {
+                                station: node as u64,
+                                bytes: pkt.bytes,
+                                enqueue: born,
+                                release: self.now,
+                                first_tx: None,
+                                attempts: 0,
+                            },
+                        );
+                    }
                     let frame = Frame {
                         src: NodeId(node),
                         dst: AP,

@@ -34,6 +34,15 @@ fn observed_run_matches_plain_run_exactly() {
         assert_eq!(p.occupancy_share, o.occupancy_share);
     }
     assert!(!mem.events.is_empty());
+    // The airtime-timeline and lifecycle-span hooks fired too — they
+    // are effect-only, so they must not have perturbed anything above.
+    for probe in [
+        |e: &EventRecord| matches!(e, EventRecord::AirtimeSlice { .. }),
+        |e: &EventRecord| matches!(e, EventRecord::FrameSpan { .. }),
+        |e: &EventRecord| matches!(e, EventRecord::RunMark { .. }),
+    ] {
+        assert!(mem.events.iter().any(probe));
+    }
 }
 
 #[test]
@@ -94,6 +103,9 @@ fn tbr_trace_contains_every_record_family_and_round_trips() {
         "token_update",
         "tcp",
         "queue_change",
+        "airtime_slice",
+        "frame_span",
+        "run_mark",
     ] {
         assert!(kinds.contains(kind), "missing record kind {kind}");
     }

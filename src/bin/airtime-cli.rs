@@ -16,7 +16,10 @@ use std::path::PathBuf;
 
 use airtime::model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
 use airtime::obs::json::{array_f64, Obj};
-use airtime::obs::{JsonlObserver, MetricsRegistry, NullObserver, Observer};
+use airtime::obs::{
+    AirtimeLedger, JsonlObserver, MetricsRegistry, NullObserver, Observer, SpanCollector,
+    TeeObserver,
+};
 use airtime::phy::DataRate;
 use airtime::sim::SimDuration;
 use airtime::wlan::{run, run_instrumented, scenarios, Direction, Report, SchedulerKind};
@@ -41,6 +44,10 @@ OPTIONS (run):
     --secs <n>          simulated seconds                     [default: 20]
     --seed <n>          RNG seed                              [default: 1]
     --events <path>     stream structured events to a JSONL trace
+    --ledger <path>     account every microsecond of medium time to a
+                        (station, category) slice, audit conservation
+                        against the simulated clock (non-zero exit on
+                        failure), and write the timeline as schema'd CSV
     --metrics <path>    export counters/gauges/histograms + time series
                         as JSON (implies instrumentation)
     --metrics-csv <path> export the metrics snapshot time-series as CSV
@@ -51,6 +58,12 @@ OPTIONS (sweep):
     --threads <n>       worker threads                  [default: all cores]
     --json <path>       write the result matrix as schema'd JSON
     --csv <path>        write the result matrix as schema'd CSV
+
+OPTIONS (inspect):
+    --spans             per-station frame-lifecycle delay percentiles
+                        (queueing / contention / head-of-line, p50/95/99)
+    --audit             replay the trace's airtime ledger and run the
+                        conservation audit; non-zero exit on failure
 
 Scenario files are a TOML subset; see examples/scenarios/ and the
 README's \"Scenario files\" section. Malformed files exit non-zero with
@@ -94,6 +107,7 @@ struct Args {
     secs: u64,
     seed: u64,
     events: Option<PathBuf>,
+    ledger: Option<PathBuf>,
     metrics: Option<PathBuf>,
     metrics_csv: Option<PathBuf>,
     scenario: Option<PathBuf>,
@@ -102,6 +116,10 @@ struct Args {
     json: bool,
     json_path: Option<PathBuf>,
     csv: Option<PathBuf>,
+    /// `inspect --spans`: frame-lifecycle delay percentiles.
+    spans: bool,
+    /// `inspect --audit`: conservation audit over the trace.
+    audit: bool,
     /// Positional argument (the trace path for `inspect`, the
     /// scenario file for `sweep`).
     positional: Option<String>,
@@ -119,6 +137,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         secs: 20,
         seed: 1,
         events: None,
+        ledger: None,
         metrics: None,
         metrics_csv: None,
         scenario: None,
@@ -126,6 +145,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         json: false,
         json_path: None,
         csv: None,
+        spans: false,
+        audit: false,
         positional: None,
     };
     while let Some(flag) = argv.next() {
@@ -152,6 +173,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--secs" => args.secs = value()?.parse().map_err(|e| format!("bad --secs: {e}"))?,
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
             "--events" => args.events = Some(PathBuf::from(value()?)),
+            "--ledger" => args.ledger = Some(PathBuf::from(value()?)),
+            "--spans" => args.spans = true,
+            "--audit" => args.audit = true,
             "--metrics" => args.metrics = Some(PathBuf::from(value()?)),
             "--metrics-csv" => args.metrics_csv = Some(PathBuf::from(value()?)),
             "--scenario" => args.scenario = Some(PathBuf::from(value()?)),
@@ -203,8 +227,20 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     };
 
     let mut registry = (a.metrics.is_some() || a.metrics_csv.is_some()).then(MetricsRegistry::new);
-    let r = match &a.events {
-        Some(path) => {
+    let mut ledger = None;
+    let r = match (&a.events, a.ledger.is_some()) {
+        (Some(path), true) => {
+            // Ledger + trace: tee the event stream into both.
+            let jsonl = JsonlObserver::create(path)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?;
+            let mut tee = TeeObserver::new(AirtimeLedger::new(), jsonl);
+            let r = run_instrumented(&cfg, &mut tee, registry.as_mut());
+            tee.finish()
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            ledger = Some(tee.a);
+            r
+        }
+        (Some(path), false) => {
             let mut obs = JsonlObserver::create(path)
                 .map_err(|e| format!("creating {}: {e}", path.display()))?;
             let r = run_instrumented(&cfg, &mut obs, registry.as_mut());
@@ -212,7 +248,13 @@ fn cmd_run(a: &Args) -> Result<(), String> {
                 .map_err(|e| format!("writing {}: {e}", path.display()))?;
             r
         }
-        None => match registry.as_mut() {
+        (None, true) => {
+            let mut led = AirtimeLedger::new();
+            let r = run_instrumented(&cfg, &mut led, registry.as_mut());
+            ledger = Some(led);
+            r
+        }
+        (None, false) => match registry.as_mut() {
             Some(reg) => run_instrumented(&cfg, &mut NullObserver, Some(reg)),
             None => run(&cfg),
         },
@@ -224,6 +266,39 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     if let (Some(path), Some(reg)) = (&a.metrics_csv, &registry) {
         std::fs::write(path, reg.series_to_csv())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if let (Some(path), Some(led)) = (&a.ledger, &ledger) {
+        std::fs::write(path, led.timeline_csv())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let audit = led.audit();
+        // Cross-check the ledger's occupancy view against the report.
+        let shares = led.occupancy_shares();
+        let mut worst: f64 = 0.0;
+        for node in &r.nodes {
+            let id = (node.station + 1) as u64;
+            let led_share = shares
+                .iter()
+                .find(|&&(s, _)| s == id)
+                .map_or(0.0, |&(_, sh)| sh);
+            worst = worst.max((led_share - node.occupancy_share).abs());
+        }
+        let agree = worst <= 1e-9;
+        if !a.json {
+            print!("{audit}");
+            println!(
+                "  occupancy agreement with report: {} (max |Δshare| {worst:.2e})",
+                if agree { "PASS" } else { "FAIL" }
+            );
+            println!("  timeline written to {}\n", path.display());
+        }
+        if !audit.conserved {
+            return Err("airtime conservation audit failed".into());
+        }
+        if !agree {
+            return Err(format!(
+                "ledger occupancy shares disagree with the report (max |Δshare| {worst:.2e})"
+            ));
+        }
     }
 
     if a.json {
@@ -393,8 +468,23 @@ fn cmd_inspect(a: &Args) -> Result<(), String> {
         .positional
         .as_deref()
         .ok_or("inspect needs a trace path: airtime-cli inspect <events.jsonl>")?;
-    let summary = airtime::obs::summarize_file(std::path::Path::new(path))
-        .map_err(|e| format!("reading {path}: {e}"))?;
+    let p = std::path::Path::new(path);
+    if a.spans || a.audit {
+        if a.spans {
+            let spans = SpanCollector::from_file(p).map_err(|e| format!("reading {path}: {e}"))?;
+            print!("{spans}");
+        }
+        if a.audit {
+            let ledger = AirtimeLedger::from_file(p).map_err(|e| format!("reading {path}: {e}"))?;
+            let audit = ledger.audit();
+            print!("{audit}");
+            if !audit.conserved {
+                return Err("airtime conservation audit failed".into());
+            }
+        }
+        return Ok(());
+    }
+    let summary = airtime::obs::summarize_file(p).map_err(|e| format!("reading {path}: {e}"))?;
     print!("{summary}");
     Ok(())
 }

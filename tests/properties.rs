@@ -351,3 +351,65 @@ mod tcp_delivery {
         }
     }
 }
+
+mod ledger_conservation {
+    //! End-to-end conservation law: under arbitrary station mixes,
+    //! schedulers, directions, seeds and warm-ups, the airtime
+    //! ledger's exclusive timeline tiles the measurement window within
+    //! 1 µs and its occupancy view reproduces the report's shares.
+
+    use airtime::obs::AirtimeLedger;
+    use airtime::phy::DataRate;
+    use airtime::sim::{SimDuration, SimRng};
+    use airtime::wlan::{run_observed, scenarios, Direction, SchedulerKind};
+
+    #[test]
+    fn random_scenarios_conserve_airtime_and_agree_with_the_report() {
+        let mut rng = SimRng::new(0xA11E);
+        let rates = [DataRate::B1, DataRate::B2, DataRate::B5_5, DataRate::B11];
+        for case in 0..24 {
+            let n = rng.range_inclusive(1, 4);
+            let mix: Vec<DataRate> = (0..n)
+                .map(|_| rates[rng.range_inclusive(0, 3) as usize])
+                .collect();
+            let direction = if rng.chance(0.5) {
+                Direction::Uplink
+            } else {
+                Direction::Downlink
+            };
+            let scheduler = match rng.range_inclusive(0, 4) {
+                0 => SchedulerKind::Fifo,
+                1 => SchedulerKind::RoundRobin,
+                2 => SchedulerKind::Drr,
+                3 => SchedulerKind::tbr(),
+                _ => SchedulerKind::txop(),
+            };
+            let mut cfg = scenarios::tcp_stations(&mix, direction, scheduler);
+            cfg.seed = rng.range_inclusive(1, 1 << 30);
+            cfg.duration = SimDuration::from_millis(300 + rng.range_inclusive(0, 500));
+            cfg.warmup = if rng.chance(0.3) {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_millis(100)
+            };
+            let mut ledger = AirtimeLedger::new();
+            let report = run_observed(&cfg, &mut ledger);
+            let audit = ledger.audit();
+            assert!(audit.conserved, "case {case}: {audit}");
+            let shares = ledger.occupancy_shares();
+            for node in &report.nodes {
+                let id = (node.station + 1) as u64;
+                let ledger_share = shares
+                    .iter()
+                    .find(|&&(s, _)| s == id)
+                    .map_or(0.0, |&(_, sh)| sh);
+                assert!(
+                    (ledger_share - node.occupancy_share).abs() < 1e-9,
+                    "case {case}: station {} ledger {ledger_share} vs report {}",
+                    node.station,
+                    node.occupancy_share,
+                );
+            }
+        }
+    }
+}
