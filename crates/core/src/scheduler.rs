@@ -94,6 +94,26 @@ pub trait ApScheduler {
     /// disciplines that need no timer.
     fn tick_period(&self) -> Option<SimDuration>;
 
+    /// True when the scheduler replays its periodic `on_tick` work
+    /// lazily — catching internal state up on every entry point with
+    /// arithmetic identical to dense ticking — so the driver may skip
+    /// idle ticks entirely and consult [`next_wake`] only when the
+    /// scheduler is blocked.
+    ///
+    /// [`next_wake`]: ApScheduler::next_wake
+    fn coalescible(&self) -> bool {
+        false
+    }
+
+    /// When the scheduler is blocked (backlog but nothing eligible),
+    /// the instant by which it wants to be consulted again. Estimates
+    /// must be conservative: an early wake is a harmless no-op, a late
+    /// one would change behaviour relative to dense ticking. `None`
+    /// when no wake-up is needed.
+    fn next_wake(&self, _now: SimTime) -> Option<SimTime> {
+        None
+    }
+
     /// Total packets currently buffered.
     fn backlog(&self) -> usize;
 

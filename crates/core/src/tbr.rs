@@ -127,6 +127,9 @@ pub struct TbrScheduler {
     next_rr: usize,
     last_fill: SimTime,
     last_adjust: SimTime,
+    /// The next FILLEVENT grid instant (multiples of `fill_period`)
+    /// that has not been replayed yet. See [`TbrScheduler::catch_up`].
+    next_grid: SimTime,
     /// Total channel time debited, per client (measurement).
     debited: Vec<f64>,
 }
@@ -141,7 +144,32 @@ impl TbrScheduler {
             next_rr: 0,
             last_fill: SimTime::ZERO,
             last_adjust: SimTime::ZERO,
+            next_grid: SimTime::ZERO + config.fill_period,
             debited: Vec::new(),
+        }
+    }
+
+    /// Replays every FILLEVENT/ADJUSTRATEEVENT grid instant up to
+    /// `now`, exactly as a dense tick timer would have fired them.
+    ///
+    /// This is what makes tick coalescing safe: fills and adjustments
+    /// always execute at the same timestamps — multiples of
+    /// `fill_period` — whether a timer event drove them eagerly or an
+    /// enqueue/dequeue/complete arrived after an idle stretch. Since
+    /// `f64` addition is not associative, replaying the *same instants*
+    /// (rather than one analytically equivalent lump fill) is the only
+    /// way the coalesced trajectory stays bit-for-bit identical to the
+    /// dense one. Every entry point calls this first, so token and rate
+    /// state is a pure function of the consult-time sequence.
+    fn catch_up(&mut self, now: SimTime) {
+        while self.next_grid <= now {
+            let g = self.next_grid;
+            self.fill(g);
+            if g.saturating_since(self.last_adjust) >= self.config.adjust_period {
+                self.last_adjust = g;
+                self.adjust_rates(g);
+            }
+            self.next_grid = g + self.config.fill_period;
         }
     }
 
@@ -316,6 +344,7 @@ impl ApScheduler for TbrScheduler {
     }
 
     fn enqueue(&mut self, pkt: QueuedPacket, now: SimTime) -> EnqueueOutcome {
+        self.catch_up(now);
         if self.pool.slot_of(pkt.client).is_none() {
             self.on_associate(pkt.client, now);
         }
@@ -332,6 +361,7 @@ impl ApScheduler for TbrScheduler {
     }
 
     fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
+        self.catch_up(now);
         self.fill(now);
         let n = self.pool.len();
         for k in 0..n {
@@ -359,6 +389,11 @@ impl ApScheduler for TbrScheduler {
         _sent_by_ap: bool,
         now: SimTime,
     ) {
+        // Catch up first: at a timestamp shared with a grid instant,
+        // the debit must land after the grid's fill/adjust in *every*
+        // drive mode, or dense and coalesced runs would diverge on the
+        // tick-event-vs-completion-event pop order.
+        self.catch_up(now);
         let slot = match self.pool.slot_of(client) {
             Some(s) => s,
             None => {
@@ -381,6 +416,7 @@ impl ApScheduler for TbrScheduler {
     }
 
     fn on_tick(&mut self, now: SimTime) {
+        self.catch_up(now);
         self.fill(now);
         if now.saturating_since(self.last_adjust) >= self.config.adjust_period {
             self.last_adjust = now;
@@ -390,6 +426,49 @@ impl ApScheduler for TbrScheduler {
 
     fn tick_period(&self) -> Option<SimDuration> {
         Some(self.config.fill_period)
+    }
+
+    fn coalescible(&self) -> bool {
+        true
+    }
+
+    fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        let p = self.config.fill_period.as_nanos();
+        // First grid index strictly after `now` that has not been
+        // replayed (callers catch up before asking, making these equal;
+        // the max guards a stale call).
+        let first_k = (self.next_grid.as_nanos() / p).max(now.as_nanos() / p + 1);
+        let last_fill = self.last_fill.as_nanos() as f64;
+        let mut k_min: Option<u64> = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if self.pool.queues[i].is_empty() || s.tokens > 0.0 {
+                continue;
+            }
+            // Tokens are as-of `last_fill`; project the refill forward
+            // to the grid instant where the balance crosses zero, then
+            // wake two grid steps early — the stepwise replay and this
+            // analytic estimate can disagree by float rounding, and an
+            // early wake is a no-op while a late one changes behaviour.
+            let k = if s.rate > 0.0 {
+                let cross = last_fill + (-s.tokens) / s.rate;
+                let k = (cross / p as f64).ceil();
+                if k.is_finite() && k >= 0.0 && k < (u64::MAX / p) as f64 {
+                    (k as u64).saturating_sub(2).max(first_k)
+                } else {
+                    u64::MAX / p
+                }
+            } else {
+                // No refill until the next rate adjustment.
+                u64::MAX / p
+            };
+            k_min = Some(k_min.map_or(k, |m: u64| m.min(k)));
+        }
+        let k = k_min?;
+        // Rates can change at the next ADJUSTRATEEVENT; never sleep
+        // past it.
+        let adjust_due = self.last_adjust + self.config.adjust_period;
+        let k_adjust = adjust_due.as_nanos().div_ceil(p).max(first_k);
+        Some(SimTime::from_nanos(k.min(k_adjust).saturating_mul(p)))
     }
 
     fn backlog(&self) -> usize {
@@ -712,6 +791,114 @@ mod tests {
             let r = tbr.rate_of(ClientId(c)).unwrap();
             assert!((r - 1.0 / 3.0).abs() < 1e-9, "client {c} rate {r}");
         }
+    }
+
+    #[test]
+    fn lazy_catch_up_is_bitwise_identical_to_dense_ticking() {
+        // Two regulators see the same consult sequence; one also gets a
+        // dense `on_tick` at every fill-period grid instant, the other
+        // relies on entry-point catch-up alone. Because catch-up
+        // replays fills and adjustments at the exact grid timestamps,
+        // token and rate state must agree *bit for bit* — not merely
+        // within tolerance — at every consult.
+        let mk = || {
+            let mut t = TbrScheduler::new(TbrConfig::default());
+            t.on_associate(ClientId(0), SimTime::ZERO);
+            t.on_associate(ClientId(1), SimTime::ZERO);
+            t
+        };
+        let mut dense = mk();
+        let mut lazy = mk();
+        let tick = dense.tick_period().unwrap();
+        let mut next_tick = SimTime::ZERO + tick;
+        // Irregular consult times: sub-tick jitter, multi-tick stalls,
+        // and idle gaps spanning the 1 s adjustment boundary.
+        let mut now = SimTime::ZERO;
+        let gaps_us = [
+            150u64, 3_900, 12, 800_000, 40, 2_500_000, 7, 133, 600_000, 90_000,
+        ];
+        for (i, &gap) in gaps_us.iter().cycle().take(60).enumerate() {
+            now += SimDuration::from_micros(gap);
+            while next_tick <= now {
+                dense.on_tick(next_tick);
+                next_tick += tick;
+            }
+            match i % 3 {
+                0 => {
+                    dense.enqueue(pkt(i % 2, 1500), now);
+                    lazy.enqueue(pkt(i % 2, 1500), now);
+                }
+                1 => {
+                    let a = dense.dequeue(now);
+                    let b = lazy.dequeue(now);
+                    assert_eq!(a, b, "dequeue diverged at consult {i}");
+                    if let Some(p) = a {
+                        dense.on_complete(p.client, AIRTIME_11M, true, now);
+                        lazy.on_complete(p.client, AIRTIME_11M, true, now);
+                    }
+                }
+                _ => {
+                    dense.on_complete(ClientId(i % 2), AIRTIME_1M, false, now);
+                    lazy.on_complete(ClientId(i % 2), AIRTIME_1M, false, now);
+                }
+            }
+            for c in 0..2 {
+                let td = dense.tokens_of(ClientId(c)).unwrap();
+                let tl = lazy.tokens_of(ClientId(c)).unwrap();
+                assert_eq!(
+                    td.to_bits(),
+                    tl.to_bits(),
+                    "tokens diverged at consult {i}: {td} vs {tl}"
+                );
+                let rd = dense.rate_of(ClientId(c)).unwrap();
+                let rl = lazy.rate_of(ClientId(c)).unwrap();
+                assert_eq!(
+                    rd.to_bits(),
+                    rl.to_bits(),
+                    "rates diverged at consult {i}: {rd} vs {rl}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_wake_is_conservative_and_grid_aligned() {
+        let mut tbr = TbrScheduler::new(TbrConfig {
+            initial_tokens: SimDuration::from_micros(1),
+            ..TbrConfig::default()
+        });
+        let now = SimTime::ZERO;
+        tbr.on_associate(ClientId(0), now);
+        tbr.on_associate(ClientId(1), now);
+        assert!(tbr.coalescible());
+        // Unblocked (no backlog): no wake needed.
+        assert_eq!(tbr.next_wake(now), None);
+        tbr.enqueue(pkt(0, 1500), now);
+        let p = tbr.dequeue(now).expect("initial tokens release");
+        tbr.on_complete(p.client, AIRTIME_1M, true, now);
+        tbr.enqueue(pkt(0, 1500), now);
+        assert!(tbr.dequeue(now).is_none(), "negative balance blocks");
+        // Blocked: the wake must be a future fill-grid instant, and at
+        // or before the instant the stepwise refill actually unblocks
+        // the client (~26 ms at rate 0.5 for a 12.85 ms debt).
+        let wake = tbr.next_wake(now).expect("blocked queue wants a wake");
+        let period = TbrConfig::default().fill_period.as_nanos();
+        assert!(wake > now);
+        assert_eq!(wake.as_nanos() % period, 0, "wake lands on the grid");
+        assert!(wake <= SimTime::from_millis(26), "wake {wake:?} too late");
+        // Driving ticks from the wake onward unblocks within two grid
+        // steps (the conservative margin).
+        let mut t = wake;
+        let mut unblocked = false;
+        for _ in 0..3 {
+            tbr.on_tick(t);
+            if tbr.has_eligible(t) {
+                unblocked = true;
+                break;
+            }
+            t += TbrConfig::default().fill_period;
+        }
+        assert!(unblocked, "wake estimate missed the unblock instant");
     }
 
     #[test]

@@ -31,7 +31,9 @@ use airtime_obs::{
     NullObserver, Observer, QueueSite, RunPhase, TcpPhase, TokenCause,
 };
 use airtime_phy::{Arf, DataRate, LinkErrorModel};
-use airtime_sim::{EventQueue, Histogram, LoopProfiler, RateMeter, SimDuration, SimRng, SimTime};
+use airtime_sim::{
+    AnyQueue, Histogram, LoopProfiler, RateMeter, SimDuration, SimRng, SimTime, Timeline,
+};
 use airtime_trace::{FrameRecord, Trace};
 
 use crate::config::{Direction, LinkSpec, NetworkConfig, Regulate, SchedulerKind, Transport};
@@ -120,6 +122,18 @@ impl Sched {
     fn tick_period(&self) -> Option<SimDuration> {
         sched_delegate!(self, s => s.tick_period())
     }
+    fn coalescible(&self) -> bool {
+        sched_delegate!(self, s => s.coalescible())
+    }
+    fn next_wake(&self, now: SimTime) -> Option<SimTime> {
+        sched_delegate!(self, s => s.next_wake(now))
+    }
+    fn backlog(&self) -> usize {
+        sched_delegate!(self, s => s.backlog())
+    }
+    fn has_eligible(&self, now: SimTime) -> bool {
+        sched_delegate!(self, s => s.has_eligible(now))
+    }
     fn queue_len(&self, c: ClientId) -> usize {
         sched_delegate!(self, s => s.queue_len(c))
     }
@@ -195,9 +209,16 @@ struct Sim<'c, O: Observer> {
     obs: &'c mut O,
     instr: Option<Instr<'c>>,
     now: SimTime,
-    queue: EventQueue<Event>,
+    queue: AnyQueue<Event>,
     mac: DcfWorld,
     sched: Sched,
+    /// True when `SchedTick` self-reschedules at every `tick_period`
+    /// (the scheduler needs a timer but cannot catch up lazily, or the
+    /// config disabled coalescing).
+    dense_ticks: bool,
+    /// The earliest coalesced wake-up currently sitting in the event
+    /// queue, if any — avoids flooding the queue with duplicate wakes.
+    pending_wake: Option<SimTime>,
     flows: Vec<FlowRt>,
     /// Per-station uplink interface queues (packet, arrival time).
     client_q: Vec<VecDeque<(Packet, SimTime)>>,
@@ -260,18 +281,21 @@ pub fn run_instrumented<O: Observer>(
     let mut sim = Sim::new(cfg, obs, metrics);
     sim.queue
         .schedule(SimTime::ZERO + cfg.warmup, Event::WarmupDone);
-    if let Some(p) = sim.sched.tick_period() {
-        sim.queue.schedule(SimTime::ZERO + p, Event::SchedTick);
+    if sim.dense_ticks {
+        if let Some(p) = sim.sched.tick_period() {
+            sim.queue.schedule(SimTime::ZERO + p, Event::SchedTick);
+        }
     }
     for f in 0..sim.flows.len() {
         let at = sim.flows[f].start;
         sim.queue.schedule(at, Event::StartFlow { flow: f });
     }
     let end = SimTime::ZERO + cfg.duration;
-    while let Some((t, ev)) = sim.queue.pop() {
-        if t > end {
-            break;
-        }
+    // Peek before popping: an event beyond `end` stays in the queue, so
+    // `events_processed` counts exactly the dispatched events and the
+    // profiler/queue-depth accounting agrees with it.
+    while sim.queue.peek_time().is_some_and(|t| t <= end) {
+        let (t, ev) = sim.queue.pop().expect("peeked");
         sim.now = t;
         let label = event_label(&ev);
         let depth = sim.queue.len();
@@ -282,6 +306,7 @@ pub fn run_instrumented<O: Observer>(
         sim.dispatch(ev);
         sim.pump_all();
         sim.kick_all();
+        sim.ensure_sched_wake();
         if let Some(t0) = t0 {
             if let Some(instr) = sim.instr.as_mut() {
                 instr.profiler.count_timed(label, t0.elapsed());
@@ -290,6 +315,10 @@ pub fn run_instrumented<O: Observer>(
         }
     }
     sim.now = end;
+    // Bring the scheduler's periodic state up to the end of the run in
+    // every drive mode, so reported rates never depend on whether the
+    // trailing idle stretch carried tick events.
+    sim.sched.on_tick(end);
     sim.finish_airtime(end);
     sim.finish_instr();
     sim.report()
@@ -472,12 +501,16 @@ impl<'c, O: Observer> Sim<'c, O> {
                 reg,
             }
         });
+        let dense_ticks =
+            sched.tick_period().is_some() && !(cfg.coalesce_ticks && sched.coalescible());
         Sim {
             cfg,
             obs,
             instr,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: AnyQueue::new(cfg.queue_backend),
+            dense_ticks,
+            pending_wake: None,
             mac,
             sched,
             flows,
@@ -762,14 +795,22 @@ impl<'c, O: Observer> Sim<'c, O> {
                 self.apply_receiver_effects(flow, fx);
             }
             Event::SchedTick => {
+                if self.pending_wake.is_some_and(|w| w <= self.now) {
+                    self.pending_wake = None;
+                }
                 self.sched.on_tick(self.now);
                 if self.obs.active() {
                     for k in 0..self.key_count() {
                         self.emit_tokens(ClientId(k), TokenCause::Fill);
                     }
                 }
-                if let Some(p) = self.sched.tick_period() {
-                    self.queue.schedule(self.now + p, Event::SchedTick);
+                // Dense mode keeps the classic self-rescheduling chain;
+                // coalesced mode only wakes when `ensure_sched_wake`
+                // asks for it.
+                if self.dense_ticks {
+                    if let Some(p) = self.sched.tick_period() {
+                        self.queue.schedule(self.now + p, Event::SchedTick);
+                    }
                 }
             }
             Event::Pump { flow } => {
@@ -1381,6 +1422,28 @@ impl<'c, O: Observer> Sim<'c, O> {
         }
     }
 
+    /// In coalesced-tick mode: if the scheduler is blocked (backlogged
+    /// but nothing eligible — a TBR queue waiting on tokens), make sure
+    /// a `SchedTick` wake-up sits in the event queue at the scheduler's
+    /// requested instant. Runs after every dispatch; a no-op in dense
+    /// mode, when the scheduler needs no timer, or when traffic will
+    /// consult the scheduler anyway.
+    fn ensure_sched_wake(&mut self) {
+        if self.dense_ticks || self.sched.tick_period().is_none() {
+            return;
+        }
+        if self.sched.backlog() == 0 || self.sched.has_eligible(self.now) {
+            return;
+        }
+        let Some(at) = self.sched.next_wake(self.now) else {
+            return;
+        };
+        if self.pending_wake.is_none_or(|w| at < w) {
+            self.queue.schedule(at, Event::SchedTick);
+            self.pending_wake = Some(at);
+        }
+    }
+
     // -- results ---------------------------------------------------------
 
     fn report(mut self) -> Report {
@@ -1474,5 +1537,49 @@ fn client_node(frame: &Frame) -> usize {
         frame.dst.index()
     } else {
         frame.src.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_labels_are_exhaustive_and_unique() {
+        // One instance per `Event` variant. Adding a variant breaks the
+        // exhaustive match in `event_label` at compile time; this test
+        // catches the remaining drift mode — two variants silently
+        // sharing a profiler label.
+        let pkt = Packet {
+            flow: FlowId(0),
+            kind: PacketKind::UdpData { seq: 0 },
+            bytes: 1500,
+        };
+        let variants = [
+            Event::Mac(MacEvent::AccessResolved { generation: 0 }),
+            Event::Mac(MacEvent::TxEnd),
+            Event::Mac(MacEvent::DeferExpired { node: NodeId(1) }),
+            Event::WiredToAp(pkt),
+            Event::WiredToHost(pkt),
+            Event::RtoFired {
+                flow: 0,
+                generation: 0,
+            },
+            Event::DelAckFired {
+                flow: 0,
+                generation: 0,
+            },
+            Event::SchedTick,
+            Event::Pump { flow: 0 },
+            Event::StartFlow { flow: 0 },
+            Event::WarmupDone,
+        ];
+        let labels: Vec<&'static str> = variants.iter().map(event_label).collect();
+        for (i, a) in labels.iter().enumerate() {
+            assert!(!a.is_empty(), "empty label for variant {i}");
+            for (j, b) in labels.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "variants {i} and {j} share the label {a:?}");
+            }
+        }
     }
 }

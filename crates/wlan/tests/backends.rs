@@ -1,0 +1,103 @@
+//! The event-queue determinism contract, checked end-to-end: the
+//! timer-wheel and binary-heap backends — and dense vs coalesced
+//! scheduler ticking — must all produce bit-identical runs.
+//!
+//! The presets cover the paper's headline figures: the DCF-anomaly
+//! uploaders (Figure 2), the four-node mix (Table 3), the TCP
+//! up/down baseline (Figure 4), and the TBR mixed-rate downlink cell
+//! (Figure 9), whose dense fill ticks are what the coalescing
+//! machinery exists to skip.
+
+use airtime_obs::AirtimeLedger;
+use airtime_phy::DataRate::{B1, B11};
+use airtime_sim::{QueueBackend, SimDuration};
+use airtime_wlan::{
+    run, run_observed, scenarios, Direction, NetworkConfig, SchedulerKind, Transport,
+};
+
+/// Shortens a paper-length preset to test length without disturbing a
+/// deliberately zero warm-up.
+fn shorten(mut cfg: NetworkConfig) -> NetworkConfig {
+    cfg.duration = SimDuration::from_secs(2);
+    if !cfg.warmup.is_zero() {
+        cfg.warmup = SimDuration::from_millis(500);
+    }
+    cfg
+}
+
+fn presets() -> Vec<(&'static str, NetworkConfig)> {
+    vec![
+        (
+            "fig2/uploaders/fifo",
+            shorten(scenarios::uploaders(&[B11, B1], SchedulerKind::Fifo)),
+        ),
+        (
+            "table3/four_node_mix/tbr",
+            shorten(scenarios::four_node_mix(SchedulerKind::tbr())),
+        ),
+        (
+            "fig4/updown/rr",
+            shorten(scenarios::updown_baseline(
+                3,
+                Transport::Tcp,
+                Direction::Downlink,
+                SchedulerKind::RoundRobin,
+            )),
+        ),
+        (
+            "fig9/tcp_down/tbr",
+            shorten(scenarios::tcp_stations(
+                &[B11, B1],
+                Direction::Downlink,
+                SchedulerKind::tbr(),
+            )),
+        ),
+    ]
+}
+
+/// Every `(backend, coalescing)` combination the config can express.
+fn combos() -> [(&'static str, QueueBackend, bool); 4] {
+    [
+        ("heap/dense", QueueBackend::Heap, false),
+        ("heap/coalesced", QueueBackend::Heap, true),
+        ("wheel/dense", QueueBackend::Wheel, false),
+        ("wheel/coalesced", QueueBackend::Wheel, true),
+    ]
+}
+
+#[test]
+fn reports_are_byte_identical_across_backends_and_tick_modes() {
+    for (name, base) in presets() {
+        let mut reference: Option<(String, &'static str)> = None;
+        for (combo, backend, coalesce) in combos() {
+            let mut cfg = base.clone();
+            cfg.queue_backend = backend;
+            cfg.coalesce_ticks = coalesce;
+            // Debug formatting prints every float with full precision,
+            // so equal strings mean bit-identical reports.
+            let rendered = format!("{:?}", run(&cfg));
+            match &reference {
+                None => reference = Some((rendered, combo)),
+                Some((want, ref_combo)) => {
+                    assert_eq!(&rendered, want, "{name}: {combo} diverged from {ref_combo}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ledger_audits_conserve_under_every_backend_and_tick_mode() {
+    for (name, base) in presets() {
+        for (combo, backend, coalesce) in combos() {
+            let mut cfg = base.clone();
+            cfg.queue_backend = backend;
+            cfg.coalesce_ticks = coalesce;
+            let mut ledger = AirtimeLedger::new();
+            let _ = run_observed(&cfg, &mut ledger);
+            let audit = ledger.audit();
+            assert!(audit.conserved, "{name} [{combo}]: {audit}");
+            assert!(audit.slices > 0, "{name} [{combo}]: timeline is empty");
+        }
+    }
+}

@@ -73,6 +73,43 @@ fn metrics_registry_does_not_perturb_the_run() {
 }
 
 #[test]
+fn profiler_event_counts_agree_with_the_queue_counter() {
+    // Regression for an off-by-one: the main loop used to pop the
+    // first event past the end of the run, count it in
+    // `events_processed`, then discard it undispatched — so the queue's
+    // counter disagreed with the profiler's per-label totals. The loop
+    // now peeks before popping, and the two views must agree exactly.
+    for sched in [SchedulerKind::tbr(), SchedulerKind::Fifo] {
+        let cfg = short_cfg(sched);
+        let mut reg = MetricsRegistry::new();
+        let _ = run_instrumented(&cfg, &mut NullObserver, Some(&mut reg));
+        let total = reg.counter_value("sim.events").expect("sim.events");
+        let labels = [
+            "mac.access_resolved",
+            "mac.tx_end",
+            "mac.defer_expired",
+            "wired_to_ap",
+            "wired_to_host",
+            "tcp.rto",
+            "tcp.delack",
+            "sched.tick",
+            "pump",
+            "start_flow",
+            "warmup_done",
+        ];
+        let dispatched: u64 = labels
+            .iter()
+            .filter_map(|l| reg.counter_value(&format!("profile.events.{l}")))
+            .sum();
+        assert!(total > 0);
+        assert_eq!(
+            total, dispatched,
+            "queue events_processed vs profiler dispatch total"
+        );
+    }
+}
+
+#[test]
 fn tbr_trace_contains_every_record_family_and_round_trips() {
     let cfg = short_cfg(SchedulerKind::tbr());
     let mut obs = JsonlObserver::new(Vec::new());
