@@ -69,6 +69,19 @@ pub trait ApScheduler {
     /// A client joined the cell.
     fn on_associate(&mut self, client: ClientId, now: SimTime);
 
+    /// A client left the cell (roamed away or timed out). Flushes the
+    /// client's buffered packets and returns them so the embedder can
+    /// close their lifecycles; any per-client service state (token
+    /// balance, deficit, grant carry) is dropped — a station that comes
+    /// back re-registers from scratch via
+    /// [`on_associate`](ApScheduler::on_associate). Disciplines with
+    /// only shared state keep the client's packets (a stock FIFO cannot
+    /// tell whose packets are whose without scanning; those that can,
+    /// do).
+    fn on_disassociate(&mut self, _client: ClientId, _now: SimTime) -> Vec<QueuedPacket> {
+        Vec::new()
+    }
+
     /// The network layer has a packet for `client` (APPTXEVENT).
     fn enqueue(&mut self, pkt: QueuedPacket, now: SimTime) -> EnqueueOutcome;
 
@@ -163,6 +176,21 @@ impl Default for FifoScheduler {
 
 impl ApScheduler for FifoScheduler {
     fn on_associate(&mut self, _client: ClientId, _now: SimTime) {}
+
+    fn on_disassociate(&mut self, client: ClientId, _now: SimTime) -> Vec<QueuedPacket> {
+        // A real kernel interface queue would let these frames age out;
+        // scanning them away models the driver flush on DEAUTH.
+        let mut flushed = Vec::new();
+        self.queue.retain(|p| {
+            if p.client == client {
+                flushed.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        flushed
+    }
 
     fn enqueue(&mut self, pkt: QueuedPacket, _now: SimTime) -> EnqueueOutcome {
         if self.queue.len() >= self.capacity {
@@ -279,6 +307,26 @@ impl QueuePool {
         }
     }
 
+    /// Drains and returns every packet buffered for `client`. The slot
+    /// itself persists (slots are append-only so RR/DRR rotation
+    /// indices stay stable across association churn); only its contents
+    /// and RED history go.
+    pub(crate) fn flush_client(&mut self, client: ClientId) -> Vec<QueuedPacket> {
+        match self.slot_of(client) {
+            Some(i) => {
+                self.red[i] = RedState::default();
+                self.queues[i].drain(..).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Counts a drop decided outside the pool's own buffer policy
+    /// (e.g. traffic addressed to a disassociated client).
+    pub(crate) fn note_drop(&mut self) {
+        self.drops += 1;
+    }
+
     pub(crate) fn backlog(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
     }
@@ -323,6 +371,10 @@ impl Default for RoundRobinScheduler {
 impl ApScheduler for RoundRobinScheduler {
     fn on_associate(&mut self, client: ClientId, _now: SimTime) {
         self.pool.add_client(client);
+    }
+
+    fn on_disassociate(&mut self, client: ClientId, _now: SimTime) -> Vec<QueuedPacket> {
+        self.pool.flush_client(client)
     }
 
     fn enqueue(&mut self, pkt: QueuedPacket, _now: SimTime) -> EnqueueOutcome {
@@ -435,6 +487,17 @@ impl ApScheduler for DrrScheduler {
         if slot >= self.deficits.len() {
             self.deficits.push(0);
         }
+    }
+
+    fn on_disassociate(&mut self, client: ClientId, _now: SimTime) -> Vec<QueuedPacket> {
+        let flushed = self.pool.flush_client(client);
+        if let Some(slot) = self.pool.slot_of(client) {
+            self.deficits[slot] = 0;
+            if self.in_service == Some(slot) {
+                self.in_service = None;
+            }
+        }
+        flushed
     }
 
     fn enqueue(&mut self, pkt: QueuedPacket, _now: SimTime) -> EnqueueOutcome {
@@ -610,6 +673,61 @@ mod tests {
         s.on_associate(ClientId(0), SimTime::ZERO);
         assert!(s.dequeue(SimTime::ZERO).is_none());
         assert!(!s.has_eligible(SimTime::ZERO));
+    }
+
+    #[test]
+    fn fifo_disassociate_flushes_only_that_client() {
+        let mut f = FifoScheduler::new(10);
+        let now = SimTime::ZERO;
+        f.enqueue(pkt(0, 1, 100), now);
+        f.enqueue(pkt(1, 2, 100), now);
+        f.enqueue(pkt(0, 3, 100), now);
+        let flushed = f.on_disassociate(ClientId(0), now);
+        assert_eq!(
+            flushed.iter().map(|p| p.handle).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(f.backlog(), 1);
+        assert_eq!(f.dequeue(now).unwrap().handle, 2);
+    }
+
+    #[test]
+    fn rr_disassociate_keeps_rotation_stable() {
+        let mut s = RoundRobinScheduler::new(100);
+        let now = SimTime::ZERO;
+        for c in 0..3 {
+            s.on_associate(ClientId(c), now);
+            s.enqueue(pkt(c, c as u64, 1500), now);
+        }
+        let flushed = s.on_disassociate(ClientId(1), now);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(s.queue_len(ClientId(1)), 0);
+        // Remaining clients still drain in slot order.
+        assert_eq!(s.dequeue(now).unwrap().handle, 0);
+        assert_eq!(s.dequeue(now).unwrap().handle, 2);
+        assert!(s.dequeue(now).is_none());
+    }
+
+    #[test]
+    fn drr_disassociate_clears_deficit_and_service() {
+        let mut s = DrrScheduler::new(1000, 1500);
+        let now = SimTime::ZERO;
+        s.on_associate(ClientId(0), now);
+        s.on_associate(ClientId(1), now);
+        for h in 0..3 {
+            s.enqueue(pkt(0, h, 500), now);
+            s.enqueue(pkt(1, 10 + h, 500), now);
+        }
+        // Put client 0 mid-round, then drop it.
+        let first = s.dequeue(now).unwrap();
+        assert_eq!(first.client, ClientId(0));
+        let flushed = s.on_disassociate(ClientId(0), now);
+        assert_eq!(flushed.len(), 2);
+        // Only client 1's packets remain, served in order.
+        for h in 10..13 {
+            assert_eq!(s.dequeue(now).unwrap().handle, h);
+        }
+        assert!(s.dequeue(now).is_none());
     }
 
     #[test]

@@ -117,6 +117,10 @@ struct ClientState {
     low_demand_streak: u32,
     /// Smoothed share of consumed airtime across adjustment windows.
     usage_ewma: Option<f64>,
+    /// False after DISASSOCIATEEVENT: the slot persists (pool slots are
+    /// append-only) but the client holds no rate, receives no fills and
+    /// is excluded from adjustment until it re-associates.
+    active: bool,
 }
 
 /// The Time-based Regulator.
@@ -178,6 +182,11 @@ impl TbrScheduler {
     /// default equal share.
     pub fn on_associate_weighted(&mut self, client: ClientId, weight: f64, now: SimTime) {
         assert!(weight > 0.0, "weight must be positive");
+        // Replay outstanding grid instants under the *old* membership
+        // before it changes — otherwise a coalesced-mode catch-up after
+        // this call would fill pre-association instants at the new
+        // rates and diverge from the dense trajectory.
+        self.catch_up(now);
         let slot = self.pool.add_client(client);
         if slot >= self.states.len() {
             self.states.push(ClientState {
@@ -190,20 +199,64 @@ impl TbrScheduler {
                 backlog_since: None,
                 low_demand_streak: 0,
                 usage_ewma: None,
+                active: true,
             });
             self.debited.push(0.0);
+        } else if !self.states[slot].active {
+            // Re-association after a disassociation: the client
+            // registers from scratch — fresh initial tokens, no memory
+            // of its previous stint (debt was settled by leaving; usage
+            // history would poison the adjuster's EWMA).
+            let s = &mut self.states[slot];
+            s.tokens = self.config.initial_tokens.as_nanos() as f64;
+            s.weight = weight;
+            s.actual = 0.0;
+            s.start = now;
+            s.demand_time = 0.0;
+            s.backlog_since = None;
+            s.low_demand_streak = 0;
+            s.usage_ewma = None;
+            s.active = true;
         } else {
             self.states[slot].weight = weight;
         }
         self.reset_rates(now);
     }
 
+    /// Disassociates `client`: flushes its queue, drops its token
+    /// balance (positive or negative — the account closes with the
+    /// association, §4.2 keys accounts on the association lifetime) and
+    /// redistributes its rate among the remaining members.
+    fn do_disassociate(&mut self, client: ClientId, now: SimTime) -> Vec<QueuedPacket> {
+        self.catch_up(now);
+        let Some(slot) = self.pool.slot_of(client) else {
+            return Vec::new();
+        };
+        let flushed = self.pool.flush_client(client);
+        let s = &mut self.states[slot];
+        s.active = false;
+        s.tokens = 0.0;
+        s.rate = 0.0;
+        s.actual = 0.0;
+        s.demand_time = 0.0;
+        s.backlog_since = None;
+        s.low_demand_streak = 0;
+        s.usage_ewma = None;
+        self.reset_rates(now);
+        flushed
+    }
+
     /// Resets every rate to its weighted fair share (membership or
     /// weight changed).
     fn reset_rates(&mut self, now: SimTime) {
-        let total_w: f64 = self.states.iter().map(|s| s.weight).sum();
+        let total_w: f64 = self
+            .states
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.weight)
+            .sum();
         for s in &mut self.states {
-            s.rate = s.weight / total_w;
+            s.rate = if s.active { s.weight / total_w } else { 0.0 };
             s.actual = 0.0;
             s.start = now;
         }
@@ -236,17 +289,25 @@ impl TbrScheduler {
         self.last_fill = now;
         let cap = self.config.bucket.as_nanos() as f64;
         for s in &mut self.states {
-            s.tokens = (s.tokens + elapsed * s.rate).min(cap);
+            if s.active {
+                s.tokens = (s.tokens + elapsed * s.rate).min(cap);
+            }
         }
     }
 
     fn adjust_rates(&mut self, now: SimTime) {
-        let n = self.states.len();
-        let total_actual: f64 = self.states.iter().map(|s| s.actual).sum();
-        let span_ns = self
-            .states
+        // Only current members participate; disassociated slots hold no
+        // rate and must neither donate nor receive. With every slot
+        // active (the single-cell case) the index vector is the
+        // identity and the arithmetic below is unchanged term-for-term.
+        let act: Vec<usize> = (0..self.states.len())
+            .filter(|&i| self.states[i].active)
+            .collect();
+        let n = act.len();
+        let total_actual: f64 = act.iter().map(|&i| self.states[i].actual).sum();
+        let span_ns = act
             .first()
-            .map(|s| now.saturating_since(s.start).as_nanos() as f64)
+            .map(|&i| now.saturating_since(self.states[i].start).as_nanos() as f64)
             .unwrap_or(0.0);
         // Only adjust when the window carried meaningful traffic.
         let measurable = span_ns > 0.0 && total_actual / span_ns > 0.2;
@@ -262,7 +323,8 @@ impl TbrScheduler {
             // zero excess everywhere.
             let mut excesses = vec![0.0f64; n];
             let mut demand_fracs = vec![0.0f64; n];
-            for (i, s) in self.states.iter_mut().enumerate() {
+            for (i, &si) in act.iter().enumerate() {
+                let s = &mut self.states[si];
                 let span = now.saturating_since(s.start).as_nanos() as f64;
                 // Smooth the usage share across windows: TCP through a
                 // binding gate is bursty, and reacting to one quiet
@@ -290,13 +352,13 @@ impl TbrScheduler {
             for i in 0..n {
                 let looks_idle = excesses[i] > th && demand_fracs[i] < self.config.demand_threshold;
                 if looks_idle {
-                    self.states[i].low_demand_streak += 1;
+                    self.states[act[i]].low_demand_streak += 1;
                 } else {
-                    self.states[i].low_demand_streak = 0;
+                    self.states[act[i]].low_demand_streak = 0;
                 }
             }
             let under: Vec<usize> = (0..n)
-                .filter(|&i| self.states[i].low_demand_streak >= self.config.donation_streak)
+                .filter(|&i| self.states[act[i]].low_demand_streak >= self.config.donation_streak)
                 .collect();
             if !full.is_empty() && !under.is_empty() {
                 // Donate half the maximal excess, respecting the floor.
@@ -305,12 +367,12 @@ impl TbrScheduler {
                     .max_by(|&&a, &&b| excesses[a].total_cmp(&excesses[b]))
                     .expect("non-empty under set");
                 let mut donation = excesses[m] / 2.0;
-                donation = donation.min(self.states[m].rate - self.config.min_rate);
+                donation = donation.min(self.states[act[m]].rate - self.config.min_rate);
                 if donation > 0.0 {
-                    self.states[m].rate -= donation;
+                    self.states[act[m]].rate -= donation;
                     let each = donation / full.len() as f64;
                     for &j in &full {
-                        self.states[j].rate += each;
+                        self.states[act[j]].rate += each;
                     }
                 }
             }
@@ -318,13 +380,15 @@ impl TbrScheduler {
         // Restitution: relax every rate toward its weighted fair share.
         // Sum-preserving because both the rates and the fair shares sum
         // to one.
-        let total_w: f64 = self.states.iter().map(|s| s.weight).sum();
+        let total_w: f64 = act.iter().map(|&i| self.states[i].weight).sum();
         let k = self.config.restitution.clamp(0.0, 1.0);
-        for s in &mut self.states {
+        for &i in &act {
+            let s = &mut self.states[i];
             let fair = s.weight / total_w;
             s.rate += k * (fair - s.rate);
         }
-        for s in &mut self.states {
+        for &i in &act {
+            let s = &mut self.states[i];
             s.actual = 0.0;
             s.start = now;
             s.demand_time = 0.0;
@@ -337,10 +401,17 @@ impl TbrScheduler {
 
 impl ApScheduler for TbrScheduler {
     fn on_associate(&mut self, client: ClientId, now: SimTime) {
-        // Idempotent: re-association keeps any explicitly set weight.
-        if self.pool.slot_of(client).is_none() {
-            self.on_associate_weighted(client, 1.0, now);
+        // Idempotent while associated: re-association keeps any
+        // explicitly set weight. A disassociated slot re-registers from
+        // scratch with the default weight.
+        match self.pool.slot_of(client) {
+            Some(slot) if self.states[slot].active => {}
+            _ => self.on_associate_weighted(client, 1.0, now),
         }
+    }
+
+    fn on_disassociate(&mut self, client: ClientId, now: SimTime) -> Vec<QueuedPacket> {
+        self.do_disassociate(client, now)
     }
 
     fn enqueue(&mut self, pkt: QueuedPacket, now: SimTime) -> EnqueueOutcome {
@@ -349,6 +420,12 @@ impl ApScheduler for TbrScheduler {
             self.on_associate(pkt.client, now);
         }
         let slot = self.pool.slot_of(pkt.client).expect("associated above");
+        if !self.states[slot].active {
+            // Traffic addressed to a station that roamed away; without
+            // an association there is no queue to hold it.
+            self.pool.note_drop();
+            return EnqueueOutcome::Dropped;
+        }
         let was_empty = self.pool.queues[slot].is_empty();
         let outcome = self.pool.enqueue(pkt);
         if was_empty
@@ -405,6 +482,11 @@ impl ApScheduler for TbrScheduler {
         };
         let t = airtime.as_nanos() as f64;
         let s = &mut self.states[slot];
+        if !s.active {
+            // A frame already at the MAC when its station disassociated
+            // completes against a closed account; nothing to debit.
+            return;
+        }
         // Debt is never forgiven: a client that consumed more channel
         // time than its allocation stays silent until the deficit is
         // repaid — that *is* the regulation. (An earlier draft clamped
@@ -596,6 +678,88 @@ mod tests {
             (pr / expected - 1.0).abs() < 0.1,
             "packet ratio {pr} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn disassociate_flushes_and_redistributes_rate() {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let now = SimTime::ZERO;
+        tbr.on_associate(ClientId(0), now);
+        tbr.on_associate(ClientId(1), now);
+        tbr.on_associate(ClientId(2), now);
+        for h in 0..4 {
+            tbr.enqueue(
+                QueuedPacket {
+                    client: ClientId(1),
+                    handle: h,
+                    bytes: 1500,
+                },
+                now,
+            );
+        }
+        assert!((tbr.rate_of(ClientId(1)).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        let flushed = tbr.on_disassociate(ClientId(1), now);
+        assert_eq!(flushed.len(), 4);
+        assert_eq!(tbr.queue_len(ClientId(1)), 0);
+        // The departed client's share moves to the remaining members.
+        assert_eq!(tbr.rate_of(ClientId(1)), Some(0.0));
+        assert!((tbr.rate_of(ClientId(0)).unwrap() - 0.5).abs() < 1e-12);
+        assert!((tbr.rate_of(ClientId(2)).unwrap() - 0.5).abs() < 1e-12);
+        // Traffic for a gone station has nowhere to go.
+        let before = tbr.drops();
+        assert_eq!(
+            tbr.enqueue(
+                QueuedPacket {
+                    client: ClientId(1),
+                    handle: 99,
+                    bytes: 1500
+                },
+                now
+            ),
+            EnqueueOutcome::Dropped
+        );
+        assert_eq!(tbr.drops(), before + 1);
+    }
+
+    #[test]
+    fn reassociation_re_registers_fresh_tokens() {
+        let cfg = TbrConfig::default();
+        let mut tbr = TbrScheduler::new(cfg);
+        let now = SimTime::ZERO;
+        tbr.on_associate(ClientId(0), now);
+        tbr.on_associate(ClientId(1), now);
+        // Burn client 1 deep into debt, then roam it away and back.
+        tbr.on_complete(ClientId(1), SimDuration::from_millis(50), true, now);
+        assert!(tbr.tokens_of(ClientId(1)).unwrap() < 0.0);
+        tbr.on_disassociate(ClientId(1), now);
+        assert_eq!(tbr.tokens_of(ClientId(1)), Some(0.0));
+        let later = now + SimDuration::from_secs(2);
+        tbr.on_associate(ClientId(1), later);
+        // Fresh registration: initial tokens, fair split restored.
+        let init = cfg.initial_tokens.as_nanos() as f64;
+        assert_eq!(tbr.tokens_of(ClientId(1)), Some(init));
+        assert!((tbr.rate_of(ClientId(0)).unwrap() - 0.5).abs() < 1e-12);
+        assert!((tbr.rate_of(ClientId(1)).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn departed_member_is_excluded_from_fills_and_adjustment() {
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        let now = SimTime::ZERO;
+        tbr.on_associate(ClientId(0), now);
+        tbr.on_associate(ClientId(1), now);
+        tbr.on_disassociate(ClientId(1), now);
+        // Drive well past several adjustment windows with only client 0
+        // consuming; rates must stay a one-member allocation throughout.
+        let mut t = now;
+        for _ in 0..2_000 {
+            t += SimDuration::from_millis(2);
+            tbr.on_tick(t);
+            tbr.on_complete(ClientId(0), SimDuration::from_micros(1617), true, t);
+        }
+        assert!((tbr.rate_of(ClientId(0)).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(tbr.rate_of(ClientId(1)), Some(0.0));
+        assert_eq!(tbr.tokens_of(ClientId(1)), Some(0.0));
     }
 
     #[test]

@@ -126,6 +126,19 @@ impl ApScheduler for TxopScheduler {
         }
     }
 
+    fn on_disassociate(&mut self, client: ClientId, _now: SimTime) -> Vec<QueuedPacket> {
+        let flushed = self.pool.flush_client(client);
+        if let Some(slot) = self.pool.slot_of(client) {
+            // Any banked debt or in-progress grant dies with the
+            // association; `served` keeps measuring lifetime totals.
+            self.carry[slot] = 0.0;
+            if slot == self.current {
+                self.remaining = 0.0;
+            }
+        }
+        flushed
+    }
+
     fn enqueue(&mut self, pkt: QueuedPacket, now: SimTime) -> EnqueueOutcome {
         self.on_associate(pkt.client, now);
         self.pool.enqueue(pkt)

@@ -310,6 +310,13 @@ impl DcfWorld {
         self.busy_accum
     }
 
+    /// End of the current busy period, if an exchange is on the air.
+    /// Multi-cell drivers mirror this into co-channel neighbours as a
+    /// defer window (carrier sense across cells).
+    pub fn busy_until(&self) -> Option<SimTime> {
+        self.busy_until
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> MacStats {
         self.stats
@@ -360,11 +367,20 @@ impl DcfWorld {
     }
 
     /// Forbids `node` from starting new transmissions until `until`
-    /// (TBR client-cooperation, §4.1 of the paper). Returns the timer
-    /// event the embedder must schedule.
+    /// (TBR client-cooperation, §4.1 of the paper; also how a
+    /// multi-cell driver imposes a co-channel neighbour's busy period).
+    /// Returns the timer event the embedder must schedule. A defer can
+    /// only be extended: a request ending before an already-set defer
+    /// is a no-op (the pending expiry timer stays valid).
     pub fn set_defer(&mut self, now: SimTime, node: NodeId, until: SimTime) -> Vec<MacEffect> {
         let mut effects = Vec::new();
         if until <= now {
+            return effects;
+        }
+        if self.stations[node.index()]
+            .defer_until
+            .is_some_and(|t| t >= until)
+        {
             return effects;
         }
         self.stations[node.index()].defer_until = Some(until);

@@ -37,5 +37,5 @@ pub mod timing;
 pub use arf::{Arf, ArfConfig};
 pub use ber::{ErrorModel, LinkErrorModel};
 pub use pathloss::{PathLossModel, Wall};
-pub use rates::{DataRate, Modulation};
+pub use rates::{DataRate, Modulation, RateSet};
 pub use timing::{Phy80211b, Preamble};

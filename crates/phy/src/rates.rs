@@ -145,6 +145,109 @@ impl DataRate {
     }
 }
 
+impl DataRate {
+    /// Receiver sensitivity in dBm: the weakest signal at which a
+    /// typical 2004-era card still decodes this rate (Cisco Aironet 350
+    /// numbers for the DSSS/CCK rates, the 802.11a/g standard's minimum
+    /// sensitivities for the OFDM rates). Drives association decisions:
+    /// an AP below the sensitivity of a rate set's slowest rate cannot
+    /// hold the link at all.
+    pub const fn sensitivity_dbm(self) -> f64 {
+        match self {
+            DataRate::B1 => -94.0,
+            DataRate::B2 => -91.0,
+            DataRate::B5_5 => -89.0,
+            DataRate::B11 => -85.0,
+            DataRate::G6 => -82.0,
+            DataRate::G9 => -81.0,
+            DataRate::G12 => -79.0,
+            DataRate::G18 => -77.0,
+            DataRate::G24 => -74.0,
+            DataRate::G36 => -70.0,
+            DataRate::G48 => -66.0,
+            DataRate::G54 => -65.0,
+        }
+    }
+}
+
+/// The PHY family a cell (or a topology scenario's AP) operates, i.e.
+/// which rate ladder its stations pick from. 802.11b is the paper's
+/// testbed and the default everywhere; the OFDM sets exist so topology
+/// scenarios can mix PHYs across cells (the projection the paper makes
+/// for then-upcoming b/g deployments).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum RateSet {
+    /// 802.11b DSSS/CCK: 1, 2, 5.5, 11 Mbit/s (the paper's testbed).
+    #[default]
+    B,
+    /// 802.11g ERP-OFDM: 6–54 Mbit/s in the 2.4 GHz band.
+    G,
+    /// 802.11a OFDM: the same 6–54 Mbit/s grid in the 5 GHz band (the
+    /// rate/timing ladder is identical to ERP-OFDM; only the band — and
+    /// so the channel plan — differs).
+    A,
+}
+
+impl RateSet {
+    /// The set's rate ladder, slowest first.
+    pub const fn rates(self) -> &'static [DataRate] {
+        match self {
+            RateSet::B => &DataRate::ALL_B,
+            RateSet::G | RateSet::A => &DataRate::ALL_G,
+        }
+    }
+
+    /// The slowest (most robust) rate — what a station falls back to at
+    /// the cell edge.
+    pub const fn base_rate(self) -> DataRate {
+        match self {
+            RateSet::B => DataRate::B1,
+            RateSet::G | RateSet::A => DataRate::G6,
+        }
+    }
+
+    /// The fastest rate in the set.
+    pub const fn top_rate(self) -> DataRate {
+        match self {
+            RateSet::B => DataRate::B11,
+            RateSet::G | RateSet::A => DataRate::G54,
+        }
+    }
+
+    /// True when `rate` belongs to this set's ladder.
+    pub fn contains(self, rate: DataRate) -> bool {
+        self.rates().contains(&rate)
+    }
+
+    /// The weakest RSSI at which any rate of this set still decodes —
+    /// the association floor: below this an AP of this PHY cannot hold
+    /// the link at all.
+    pub const fn association_floor_dbm(self) -> f64 {
+        self.base_rate().sensitivity_dbm()
+    }
+
+    /// The fastest rate of the set whose receiver sensitivity the given
+    /// RSSI clears, or `None` when the signal is below the association
+    /// floor.
+    pub fn best_rate_at(self, rssi_dbm: f64) -> Option<DataRate> {
+        self.rates()
+            .iter()
+            .rev()
+            .find(|r| rssi_dbm >= r.sensitivity_dbm())
+            .copied()
+    }
+}
+
+impl fmt::Display for RateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateSet::B => write!(f, "802.11b"),
+            RateSet::G => write!(f, "802.11g"),
+            RateSet::A => write!(f, "802.11a"),
+        }
+    }
+}
+
 impl fmt::Display for DataRate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if *self == DataRate::B5_5 {
@@ -228,5 +331,50 @@ mod tests {
         assert_eq!(DataRate::B5_5.to_string(), "5.5M");
         assert_eq!(DataRate::B11.to_string(), "11M");
         assert_eq!(DataRate::G54.to_string(), "54M");
+    }
+
+    #[test]
+    fn rate_set_default_is_80211b() {
+        assert_eq!(RateSet::default(), RateSet::B);
+        assert_eq!(RateSet::B.rates(), &DataRate::ALL_B);
+        assert_eq!(RateSet::B.base_rate(), DataRate::B1);
+        assert_eq!(RateSet::B.top_rate(), DataRate::B11);
+        assert!(RateSet::B.contains(DataRate::B5_5));
+        assert!(!RateSet::B.contains(DataRate::G6));
+    }
+
+    #[test]
+    fn ofdm_sets_share_the_ladder() {
+        assert_eq!(RateSet::G.rates(), &DataRate::ALL_G);
+        assert_eq!(RateSet::A.rates(), &DataRate::ALL_G);
+        assert_eq!(RateSet::A.top_rate(), DataRate::G54);
+        assert_eq!(RateSet::G.to_string(), "802.11g");
+        assert_eq!(RateSet::A.to_string(), "802.11a");
+    }
+
+    #[test]
+    fn sensitivities_tighten_with_rate() {
+        for set in [RateSet::B, RateSet::G] {
+            for pair in set.rates().windows(2) {
+                assert!(
+                    pair[0].sensitivity_dbm() <= pair[1].sensitivity_dbm(),
+                    "{:?} vs {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+        assert_eq!(RateSet::B.association_floor_dbm(), -94.0);
+        assert_eq!(RateSet::G.association_floor_dbm(), -82.0);
+    }
+
+    #[test]
+    fn best_rate_tracks_signal_strength() {
+        assert_eq!(RateSet::B.best_rate_at(-50.0), Some(DataRate::B11));
+        assert_eq!(RateSet::B.best_rate_at(-86.0), Some(DataRate::B5_5));
+        assert_eq!(RateSet::B.best_rate_at(-92.0), Some(DataRate::B1));
+        assert_eq!(RateSet::B.best_rate_at(-95.0), None);
+        assert_eq!(RateSet::G.best_rate_at(-64.0), Some(DataRate::G54));
+        assert_eq!(RateSet::G.best_rate_at(-83.0), None);
     }
 }

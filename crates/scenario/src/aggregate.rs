@@ -1,8 +1,13 @@
 //! Per-cell aggregation: reduces each job's [`Report`] to the numbers
 //! a sweep table reports, and evaluates the baseline-property check.
+//!
+//! ("Cell" here is a *sweep matrix* cell. A topology job additionally
+//! has radio cells — one report per AP — which [`aggregate_topology`]
+//! folds into the same [`Cell`] shape plus a [`RoamSummary`].)
 
-use airtime_obs::StationDelays;
+use airtime_obs::{AuditReport, StationDelays};
 use airtime_sim::stats::jain_index;
+use airtime_topo::TopoReport;
 use airtime_wlan::{Report, SchedulerKind};
 
 use crate::spec::{CheckProperty, CheckSpec, ScenarioSpec};
@@ -66,6 +71,27 @@ pub struct Cell {
     pub jain_airtime: f64,
     /// Baseline-property verdict.
     pub check: CheckOutcome,
+    /// Roaming metrics, for topology jobs only (`None` keeps
+    /// single-cell output byte-identical to before topologies existed).
+    pub roam: Option<RoamSummary>,
+}
+
+/// The roaming side of one topology job, reduced to table numbers.
+#[derive(Clone, Debug)]
+pub struct RoamSummary {
+    /// AP-to-AP handoffs across all stations.
+    pub handoffs: u64,
+    /// Drops to outage (no AP above the association floor).
+    pub drops: u64,
+    /// Total station-seconds spent unassociated.
+    pub outage_s: f64,
+    /// Per-radio-cell total goodput, Mbit/s, in cell order.
+    pub cell_mbps: Vec<f64>,
+    /// Whether every per-cell airtime ledger audit conserved its
+    /// timeline (gap + overlap within tolerance).
+    pub audits_pass: bool,
+    /// Worst per-cell audit error, nanoseconds.
+    pub worst_audit_error_ns: u64,
 }
 
 /// Resolves [`CheckProperty::Auto`] by scheduler family.
@@ -168,5 +194,87 @@ pub fn aggregate(
         jain_airtime: jain_index(&shares),
         check: evaluate_check(spec, report),
         stations,
+        roam: None,
+    }
+}
+
+/// Reduces one finished *topology* job to its [`Cell`]. Per-station
+/// numbers fold across radio cells: goodput sums; the airtime share and
+/// delay percentiles are taken from the station's **home cell** (the
+/// cell where it delivered the most goodput — shares in different cells
+/// are fractions of different media and cannot be added). `delays[c]`
+/// and `audits[c]` are cell `c`'s frame-lifecycle summary and ledger
+/// audit.
+///
+/// The equal-share baseline check reports `skip`: a roamer holds each
+/// cell's medium for only part of the run, so the single-cell equal
+/// share is not the expected outcome — the per-cell baseline property
+/// is asserted by `airtime-topo`'s own tests, and the audit verdict is
+/// carried in [`RoamSummary`].
+pub fn aggregate_topology(
+    index: usize,
+    coords: Vec<(String, String)>,
+    spec: &ScenarioSpec,
+    tr: &TopoReport,
+    delays: &[Vec<StationDelays>],
+    audits: &[AuditReport],
+) -> Cell {
+    let n_st = spec.cfg.stations.len();
+    let stations: Vec<CellStation> = (0..n_st)
+        .map(|s| {
+            let goodput: f64 = tr.cells.iter().map(|c| c.nodes[s].goodput_mbps).sum();
+            let home = (0..tr.cells.len())
+                .max_by(|&a, &b| {
+                    let ga = tr.cells[a].nodes[s].goodput_mbps;
+                    let gb = tr.cells[b].nodes[s].goodput_mbps;
+                    ga.partial_cmp(&gb).expect("finite goodput").then(b.cmp(&a))
+                    // ties to the lowest cell id
+                })
+                .unwrap_or(0);
+            let d = delays
+                .get(home)
+                .and_then(|ds| ds.iter().find(|d| d.station == (s + 1) as u64));
+            CellStation {
+                rate: spec.rate_labels.get(s).cloned().unwrap_or_default(),
+                goodput_mbps: goodput,
+                airtime_share: tr.cells[home].nodes[s].occupancy_share,
+                queueing_p95_ms: d.map_or(0.0, |d| d.queueing_ms[1]),
+                contention_p95_ms: d.map_or(0.0, |d| d.contention_ms[1]),
+                hol_p95_ms: d.map_or(0.0, |d| d.hol_ms[1]),
+            }
+        })
+        .collect();
+    let goodputs: Vec<f64> = stations.iter().map(|s| s.goodput_mbps).collect();
+    let shares: Vec<f64> = stations.iter().map(|s| s.airtime_share).collect();
+    let handoffs = (0..n_st).map(|s| tr.roaming.handoff_count(s) as u64).sum();
+    let drops = tr
+        .roaming
+        .handoffs
+        .iter()
+        .filter(|h| h.from.is_some() && h.to.is_none())
+        .count() as u64;
+    let outage_s = tr.roaming.outage.iter().map(|o| o.as_secs_f64()).sum();
+    let roam = RoamSummary {
+        handoffs,
+        drops,
+        outage_s,
+        cell_mbps: tr.cells.iter().map(|c| c.total_goodput_mbps).collect(),
+        audits_pass: audits.iter().all(|a| a.conserved),
+        worst_audit_error_ns: audits
+            .iter()
+            .map(|a| a.error_ns.unsigned_abs())
+            .max()
+            .unwrap_or(0),
+    };
+    Cell {
+        index,
+        coords,
+        total_mbps: tr.total_goodput_mbps(),
+        utilization: tr.cells.iter().map(|c| c.utilization).fold(0.0, f64::max),
+        jain_throughput: jain_index(&goodputs),
+        jain_airtime: jain_index(&shares),
+        check: CheckOutcome::Skipped,
+        stations,
+        roam: Some(roam),
     }
 }

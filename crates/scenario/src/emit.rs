@@ -83,6 +83,24 @@ pub fn to_json(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
         if let CheckOutcome::Fail(reason) = &c.check {
             o.str("check_reason", reason);
         }
+        if let Some(roam) = &c.roam {
+            let mut r = Obj::new();
+            r.u64("handoffs", roam.handoffs)
+                .u64("drops", roam.drops)
+                .f64("outage_s", roam.outage_s)
+                .str("audit", if roam.audits_pass { "pass" } else { "fail" })
+                .u64("worst_audit_error_ns", roam.worst_audit_error_ns);
+            let mut mbps = String::from("[");
+            for (k, v) in roam.cell_mbps.iter().enumerate() {
+                if k > 0 {
+                    mbps.push(',');
+                }
+                mbps.push_str(&num(*v));
+            }
+            mbps.push(']');
+            r.raw("cell_mbps", &mbps);
+            o.raw("roam", &r.finish());
+        }
         cells_json.push_str(&o.finish());
     }
     cells_json.push(']');
@@ -93,8 +111,17 @@ pub fn to_json(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
 /// The whole sweep as one CSV document: one row per cell, one column
 /// per axis, then aggregates, then `goodput<i>_mbps`/`airtime<i>_share`
 /// pairs up to the widest cell (narrower cells leave those blank).
+///
+/// Topology sweeps grow roaming columns (`handoffs`, `drops`,
+/// `outage_s`, `audit`, `cell<j>_mbps`) after the aggregates; scenarios
+/// without `[[cells]]` never emit them, so pre-topology output stays
+/// byte-identical.
 pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
     let max_stations = cells.iter().map(|c| c.stations.len()).max().unwrap_or(0);
+    let max_radio_cells = cells
+        .iter()
+        .filter_map(|c| c.roam.as_ref().map(|r| r.cell_mbps.len()))
+        .max();
     let mut columns: Vec<String> = vec!["job".into()];
     columns.extend(axes.iter().map(|a| a.name.clone()));
     columns.extend(
@@ -107,6 +134,12 @@ pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
         ]
         .map(String::from),
     );
+    if let Some(n) = max_radio_cells {
+        columns.extend(["handoffs", "drops", "outage_s", "audit"].map(String::from));
+        for j in 0..n {
+            columns.push(format!("cell{j}_mbps"));
+        }
+    }
     for i in 0..max_stations {
         columns.push(format!("rate{i}"));
         columns.push(format!("goodput{i}_mbps"));
@@ -124,6 +157,24 @@ pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
         cells_row.push(num(c.jain_throughput));
         cells_row.push(num(c.jain_airtime));
         cells_row.push(c.check.label().to_string());
+        if let Some(n) = max_radio_cells {
+            match &c.roam {
+                Some(r) => {
+                    cells_row.push(r.handoffs.to_string());
+                    cells_row.push(r.drops.to_string());
+                    cells_row.push(num(r.outage_s));
+                    cells_row.push(if r.audits_pass { "pass" } else { "fail" }.to_string());
+                    for j in 0..n {
+                        cells_row.push(r.cell_mbps.get(j).map(|v| num(*v)).unwrap_or_default());
+                    }
+                }
+                None => {
+                    for _ in 0..4 + n {
+                        cells_row.push(String::new());
+                    }
+                }
+            }
+        }
         for i in 0..max_stations {
             match c.stations.get(i) {
                 Some(s) => {
@@ -189,6 +240,7 @@ mod tests {
             } else {
                 CheckOutcome::Pass
             },
+            roam: None,
         };
         (axes, vec![cell(0, "fifo", 1.34), cell(1, "tbr", 2.25)])
     }
@@ -203,6 +255,44 @@ mod tests {
         assert!(json.contains(r#""check":"fail","check_reason":"off by 0.2""#));
         assert!(json.contains(r#""check":"pass""#));
         assert!(json.ends_with("\n"));
+    }
+
+    #[test]
+    fn roam_columns_appear_only_for_topology_cells() {
+        use crate::aggregate::RoamSummary;
+        let (axes, mut cells) = sample();
+        // Single-cell output first: no roam columns anywhere.
+        let plain_csv = to_csv("demo", &axes, &cells);
+        assert!(!plain_csv.contains("handoffs"));
+        let plain_json = to_json("demo", &axes, &cells);
+        assert!(!plain_json.contains("roam"));
+        // Now mark one cell as a topology job.
+        cells[1].roam = Some(RoamSummary {
+            handoffs: 2,
+            drops: 1,
+            outage_s: 0.5,
+            cell_mbps: vec![3.25, 1.5],
+            audits_pass: true,
+            worst_audit_error_ns: 12,
+        });
+        let csv = to_csv("demo", &axes, &cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(
+            lines[1].contains("check,handoffs,drops,outage_s,audit,cell0_mbps,cell1_mbps,rate0"),
+            "{}",
+            lines[1]
+        );
+        // The non-topo row leaves the roam columns blank.
+        assert!(lines[2].contains("fail,,,,,,,11M"), "{}", lines[2]);
+        assert!(
+            lines[3].contains("pass,2,1,0.5,pass,3.25,1.5,11M"),
+            "{}",
+            lines[3]
+        );
+        let json = to_json("demo", &axes, &cells);
+        assert!(json.contains(
+            r#""roam":{"handoffs":2,"drops":1,"outage_s":0.5,"audit":"pass","worst_audit_error_ns":12,"cell_mbps":[3.25,1.5]}"#
+        ), "{json}");
     }
 
     #[test]

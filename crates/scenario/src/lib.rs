@@ -45,7 +45,7 @@ pub mod toml;
 use std::fmt;
 use std::path::Path;
 
-pub use aggregate::{Cell, CellStation, CheckOutcome};
+pub use aggregate::{Cell, CellStation, CheckOutcome, RoamSummary};
 pub use pool::PoolStats;
 pub use spec::{CheckProperty, CheckSpec, ScenarioSpec};
 pub use sweep::{Axis, Job};
@@ -123,6 +123,11 @@ pub struct SweepOutcome {
     /// Whether any cell failed its baseline check *and* the scenario
     /// asked for strictness (`[check] strict = true`).
     pub strict_failure: bool,
+    /// Whether any topology job's per-cell airtime-ledger audit failed.
+    /// Unlike `strict_failure`, this does not require `strict = true`:
+    /// a non-conserved timeline is a simulator defect, never an
+    /// acceptable experimental outcome.
+    pub audit_failure: bool,
 }
 
 impl SweepOutcome {
@@ -151,15 +156,42 @@ pub fn run_sweep(
         // Collect frame-lifecycle spans alongside the run: observation
         // is effect-only (the RNG stream is untouched), so observed
         // sweeps stay byte-identical to unobserved ones.
-        let mut spans = airtime_obs::SpanCollector::new();
-        let report = airtime_wlan::run_observed(&job.spec.cfg, &mut spans);
-        aggregate::aggregate(
-            job.index,
-            job.coords.clone(),
-            &job.spec,
-            &report,
-            &spans.summary(),
-        )
+        match &job.spec.topo {
+            None => {
+                let mut spans = airtime_obs::SpanCollector::new();
+                let report = airtime_wlan::run_observed(&job.spec.cfg, &mut spans);
+                aggregate::aggregate(
+                    job.index,
+                    job.coords.clone(),
+                    &job.spec,
+                    &report,
+                    &spans.summary(),
+                )
+            }
+            Some(topo) => {
+                // One span collector and one airtime ledger per radio
+                // cell; the ledgers audit each cell's own timeline.
+                let mut obs: Vec<_> = (0..topo.cells.len())
+                    .map(|_| {
+                        airtime_obs::TeeObserver::new(
+                            airtime_obs::SpanCollector::new(),
+                            airtime_obs::AirtimeLedger::new(),
+                        )
+                    })
+                    .collect();
+                let tr = airtime_topo::run_topology(topo, &mut obs);
+                let delays: Vec<_> = obs.iter().map(|o| o.a.summary()).collect();
+                let audits: Vec<_> = obs.iter().map(|o| o.b.audit()).collect();
+                aggregate::aggregate_topology(
+                    job.index,
+                    job.coords.clone(),
+                    &job.spec,
+                    &tr,
+                    &delays,
+                    &audits,
+                )
+            }
+        }
     });
     let outcome = SweepOutcome {
         name,
@@ -167,10 +199,16 @@ pub fn run_sweep(
         cells,
         stats,
         strict_failure: false,
+        audit_failure: false,
     };
     let strict_failure = strict && outcome.failed_cells() > 0;
+    let audit_failure = outcome
+        .cells
+        .iter()
+        .any(|c| c.roam.as_ref().is_some_and(|r| !r.audits_pass));
     Ok(SweepOutcome {
         strict_failure,
+        audit_failure,
         ..outcome
     })
 }

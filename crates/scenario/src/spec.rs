@@ -48,10 +48,41 @@
 //! scheduler = ["rr", "tbr"]
 //! "station.1.rate" = ["5.5", "2", "1"]
 //! ```
+//!
+//! Declaring one or more `[[cells]]` tables turns the scenario into a
+//! multi-cell topology run (`airtime-topo`): stations gain positions
+//! and optional waypoint mobility, and the sweep's per-job engine
+//! becomes the lockstep multi-cell driver with roaming metrics and
+//! per-cell airtime audits.
+//!
+//! ```toml
+//! [topology]                  # optional; requires [[cells]]
+//! hysteresis_db = 6.0         # handoff margin
+//! min_rssi_dbm = -94.0        # association floor (default: rate set's)
+//! assoc_tick_ms = 100         # management-plane cadence
+//! rate_set = "b"              # b | g | a (floor + auto-rate table)
+//!
+//! [[cells]]                   # one per AP
+//! x_ft = 0.0
+//! y_ft = 0.0
+//! channel = 1                 # same channel => shared medium
+//!
+//! [[station]]                 # stations gain placement keys
+//! rate = "11"
+//! x_ft = 0.0
+//! y_ft = 10.0
+//! auto_rate = false           # true: re-pick rate from RSSI each tick
+//!
+//! [[station.mobility]]        # at most one per station
+//! speed_fps = 15.0
+//! x_ft = [0.0, 300.0]         # waypoint coordinates, pairwise
+//! y_ft = [10.0, 10.0]
+//! ```
 
 use airtime_core::{TbrConfig, TxopConfig};
-use airtime_phy::{DataRate, Wall};
+use airtime_phy::{DataRate, RateSet, Wall};
 use airtime_sim::{SimDuration, SimTime};
+use airtime_topo::{CellSpec, Placement, Point, RatePolicy, TopologyConfig, WaypointPath};
 use airtime_wlan::{
     Direction, FlowSpec, LinkSpec, NetworkConfig, Regulate, SchedulerKind, StationConfig, Transport,
 };
@@ -120,6 +151,10 @@ pub struct ScenarioSpec {
     /// Display label per station (`11M`, `5.5M`, or `path` for
     /// geometry links).
     pub rate_labels: Vec<String>,
+    /// Multi-cell topology, when the scenario declares `[[cells]]`
+    /// tables. `topo.base` is a clone of `cfg` — the sweep engine runs
+    /// the topology driver instead of the single-cell engine.
+    pub topo: Option<TopologyConfig>,
 }
 
 // ---- typed accessors ----------------------------------------------------
@@ -303,7 +338,19 @@ const STATION_KEYS: &[&str] = &[
     "start_s",
     "task_bytes",
     "rate_limit_bps",
+    "x_ft",
+    "y_ft",
+    "auto_rate",
 ];
+
+/// Station keys that only mean something in a `[[cells]]` topology.
+const PLACEMENT_KEYS: &[&str] = &["x_ft", "y_ft", "auto_rate"];
+
+const TOPOLOGY_KEYS: &[&str] = &["hysteresis_db", "min_rssi_dbm", "assoc_tick_ms", "rate_set"];
+
+const CELLS_KEYS: &[&str] = &["x_ft", "y_ft", "channel"];
+
+const MOBILITY_KEYS: &[&str] = &["speed_fps", "x_ft", "y_ft"];
 
 const FLOW_KEYS: &[&str] = &[
     "transport",
@@ -426,12 +473,122 @@ fn compile_flow(t: &Table, default_direction: Direction) -> Result<FlowSpec, Com
     Ok(flow)
 }
 
+/// A station's spatial declaration, kept separate from the
+/// [`StationConfig`] until we know whether the scenario is a topology
+/// (`[[cells]]` present) at all.
+#[derive(Clone, Debug)]
+struct PlacementDecl {
+    x: f64,
+    y: f64,
+    auto_rate: bool,
+    mobility: Option<WaypointPath>,
+    /// Line of the first placement key used, if any — so a placement
+    /// key in a single-cell scenario can be rejected with its own line.
+    used_at: Option<usize>,
+}
+
+fn compile_placement(doc: &Doc, t: &Table, idx: usize) -> Result<PlacementDecl, CompileError> {
+    let mut decl = PlacementDecl {
+        x: 0.0,
+        y: 10.0,
+        auto_rate: false,
+        mobility: None,
+        used_at: None,
+    };
+    for key in PLACEMENT_KEYS {
+        if let Some(e) = t.get(key) {
+            decl.used_at.get_or_insert(e.line);
+        }
+    }
+    if let Some(e) = t.get("x_ft") {
+        decl.x = want_f64(e)?;
+    }
+    if let Some(e) = t.get("y_ft") {
+        decl.y = want_f64(e)?;
+    }
+    if let Some(e) = t.get("auto_rate") {
+        decl.auto_rate = want_bool(e)?;
+    }
+    let mobility_tables = doc.sub_tables("station", idx, "mobility");
+    if mobility_tables.len() > 1 {
+        return err(
+            mobility_tables[1].line,
+            "a station has at most one [[station.mobility]] table",
+        );
+    }
+    if let Some(mt) = mobility_tables.first() {
+        check_keys(mt, "station.mobility", MOBILITY_KEYS)?;
+        decl.used_at.get_or_insert(mt.line);
+        let coords = |key: &str| -> Result<Vec<f64>, CompileError> {
+            let Some(e) = mt.get(key) else {
+                return err(
+                    mt.line,
+                    format!("[[station.mobility]] needs '{key}' (waypoint coordinates)"),
+                );
+            };
+            let Some(xs) = e.value.as_array() else {
+                return err(
+                    e.line,
+                    format!(
+                        "key '{key}' expects an array of numbers, got {}",
+                        e.value.type_name()
+                    ),
+                );
+            };
+            let mut out = Vec::with_capacity(xs.len());
+            for x in xs {
+                match x.as_f64() {
+                    Some(v) if v.is_finite() => out.push(v),
+                    _ => {
+                        return err(
+                            e.line,
+                            format!("key '{key}' expects finite numbers, found '{x}'"),
+                        )
+                    }
+                }
+            }
+            Ok(out)
+        };
+        let xs = coords("x_ft")?;
+        let ys = coords("y_ft")?;
+        if xs.len() != ys.len() || xs.is_empty() {
+            return err(
+                mt.line,
+                format!(
+                    "'x_ft' and 'y_ft' must be non-empty and pairwise ({} vs {} waypoints)",
+                    xs.len(),
+                    ys.len()
+                ),
+            );
+        }
+        let speed = match mt.get("speed_fps") {
+            Some(e) => {
+                let s = want_f64(e)?;
+                if s <= 0.0 || !s.is_finite() {
+                    return err(e.line, "key 'speed_fps' expects a positive speed");
+                }
+                s
+            }
+            None => return err(mt.line, "[[station.mobility]] needs 'speed_fps'"),
+        };
+        let waypoints: Vec<Point> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| Point::new(x, y))
+            .collect();
+        decl.x = waypoints[0].x_ft;
+        decl.y = waypoints[0].y_ft;
+        decl.mobility = Some(WaypointPath::new(waypoints, speed));
+    }
+    Ok(decl)
+}
+
 fn compile_station(
     doc: &Doc,
     t: &Table,
     idx: usize,
     default_direction: Direction,
-) -> Result<(StationConfig, usize), CompileError> {
+) -> Result<(StationConfig, PlacementDecl, usize), CompileError> {
     check_keys(t, "station", STATION_KEYS)?;
 
     let geometry = t.get("distance_ft").is_some();
@@ -585,8 +742,136 @@ fn compile_station(
             flows,
             weight,
         },
+        compile_placement(doc, t, idx)?,
         count,
     ))
+}
+
+/// The rate a placement pins to when `auto_rate` is off: the station's
+/// declared link rate (geometry links pin their initial rate).
+fn pinned_rate(link: &LinkSpec) -> DataRate {
+    match link {
+        LinkSpec::Fixed { rate, .. } => *rate,
+        LinkSpec::Path { initial_rate, .. } => *initial_rate,
+    }
+}
+
+fn parse_rate_set(e: &Entry) -> Result<RateSet, CompileError> {
+    match want_str(e)? {
+        "b" => Ok(RateSet::B),
+        "g" => Ok(RateSet::G),
+        "a" => Ok(RateSet::A),
+        other => err(
+            e.line,
+            format!("unknown rate_set '{other}'; expected b, g, or a"),
+        ),
+    }
+}
+
+/// Compiles `[[cells]]` + `[topology]` into a [`TopologyConfig`], or
+/// `None` for a single-cell scenario. `cfg` must be the finished
+/// template (it is cloned into `topo.base`).
+fn compile_topology(
+    doc: &Doc,
+    cfg: &NetworkConfig,
+    placements: &[PlacementDecl],
+) -> Result<Option<TopologyConfig>, CompileError> {
+    let cell_tables = doc.array_tables("cells");
+    if cell_tables.is_empty() {
+        if let Some(t) = doc.table("topology") {
+            return err(t.line, "[topology] requires at least one [[cells]] table");
+        }
+        if let Some(line) = placements.iter().find_map(|p| p.used_at) {
+            return err(
+                line,
+                "station placement (x_ft/y_ft/auto_rate/[[station.mobility]]) requires [[cells]] tables",
+            );
+        }
+        return Ok(None);
+    }
+
+    let mut cells = Vec::with_capacity(cell_tables.len());
+    for t in &cell_tables {
+        check_keys(t, "cells", CELLS_KEYS)?;
+        let x = match t.get("x_ft") {
+            Some(e) => want_f64(e)?,
+            None => 0.0,
+        };
+        let y = match t.get("y_ft") {
+            Some(e) => want_f64(e)?,
+            None => 0.0,
+        };
+        let channel = match t.get("channel") {
+            Some(e) => {
+                let c = want_u64(e)?;
+                if c == 0 || c > 255 {
+                    return err(e.line, "key 'channel' expects a channel number in 1..=255");
+                }
+                c as u8
+            }
+            None => 1,
+        };
+        cells.push(CellSpec {
+            position: Point::new(x, y),
+            channel,
+        });
+    }
+
+    let mut rate_set = RateSet::B;
+    let mut hysteresis_db = 6.0;
+    let mut min_rssi_dbm = None;
+    let mut assoc_tick = SimDuration::from_millis(100);
+    if let Some(t) = doc.table("topology") {
+        check_keys(t, "topology", TOPOLOGY_KEYS)?;
+        if let Some(e) = t.get("rate_set") {
+            rate_set = parse_rate_set(e)?;
+        }
+        if let Some(e) = t.get("hysteresis_db") {
+            let h = want_f64(e)?;
+            if h < 0.0 || !h.is_finite() {
+                return err(e.line, "key 'hysteresis_db' expects a non-negative margin");
+            }
+            hysteresis_db = h;
+        }
+        if let Some(e) = t.get("min_rssi_dbm") {
+            let m = want_f64(e)?;
+            if !m.is_finite() {
+                return err(e.line, "key 'min_rssi_dbm' expects a finite dBm value");
+            }
+            min_rssi_dbm = Some(m);
+        }
+        if let Some(e) = t.get("assoc_tick_ms") {
+            let tick = duration_millis(e)?;
+            if tick.is_zero() {
+                return err(e.line, "key 'assoc_tick_ms' expects a positive period");
+            }
+            assoc_tick = tick;
+        }
+    }
+
+    let placements = placements
+        .iter()
+        .zip(&cfg.stations)
+        .map(|(d, st)| Placement {
+            position: Point::new(d.x, d.y),
+            mobility: d.mobility.clone(),
+            rate: if d.auto_rate {
+                RatePolicy::Auto
+            } else {
+                RatePolicy::Pinned(pinned_rate(&st.link))
+            },
+        })
+        .collect();
+
+    Ok(Some(TopologyConfig {
+        base: cfg.clone(),
+        cells,
+        placements,
+        rate_set,
+        hysteresis_db,
+        min_rssi_dbm: min_rssi_dbm.unwrap_or_else(|| rate_set.association_floor_dbm()),
+        assoc_tick,
+    }))
 }
 
 fn compile_check(doc: &Doc) -> Result<CheckSpec, CompileError> {
@@ -626,7 +911,14 @@ fn compile_check(doc: &Doc) -> Result<CheckSpec, CompileError> {
 
 /// Section names the compiler understands; anything else in a header is
 /// an error.
-const KNOWN_TABLES: &[&str] = &["scheduler", "check", "sweep", "station"];
+const KNOWN_TABLES: &[&str] = &[
+    "scheduler",
+    "check",
+    "sweep",
+    "station",
+    "topology",
+    "cells",
+];
 
 /// Compiles a parsed document into a [`ScenarioSpec`]. The `[sweep]`
 /// table, if any, is ignored here — [`crate::sweep::expand`] consumes
@@ -644,20 +936,22 @@ pub fn compile(doc: &Doc) -> Result<ScenarioSpec, CompileError> {
             );
         }
         if t.path.len() > 2
-            || (t.path.len() == 2 && (t.path[0] != "station" || t.path[1] != "flow"))
+            || (t.path.len() == 2
+                && (t.path[0] != "station" || (t.path[1] != "flow" && t.path[1] != "mobility")))
         {
             return err(
                 t.line,
                 format!(
-                    "unknown section [{}]; nested tables are only [[station.flow]]",
+                    "unknown section [{}]; nested tables are only [[station.flow]] and [[station.mobility]]",
                     t.path.join(".")
                 ),
             );
         }
-        if t.path[0] == "station" && t.path.len() == 1 && !t.array {
+        if (t.path[0] == "station" || t.path[0] == "cells") && t.path.len() == 1 && !t.array {
+            let name = &t.path[0];
             return err(
                 t.line,
-                "stations are declared as [[station]] (double brackets)",
+                format!("{name} tables are declared as [[{name}]] (double brackets)"),
             );
         }
     }
@@ -687,10 +981,12 @@ pub fn compile(doc: &Doc) -> Result<ScenarioSpec, CompileError> {
         );
     }
     let mut stations = Vec::new();
+    let mut placements = Vec::new();
     for (i, t) in station_tables.iter().enumerate() {
-        let (st, count) = compile_station(doc, t, i, default_direction)?;
+        let (st, place, count) = compile_station(doc, t, i, default_direction)?;
         for _ in 0..count {
             stations.push(st.clone());
+            placements.push(place.clone());
         }
     }
     if let Some(e) = doc.get("station_count") {
@@ -700,10 +996,14 @@ pub fn compile(doc: &Doc) -> Result<ScenarioSpec, CompileError> {
         }
         // Replicate the declared list cyclically to exactly n stations
         // (so a sweep over station_count grows a homogeneous or
-        // repeating-pattern cell).
+        // repeating-pattern cell). Placements replicate in lockstep.
         let declared = stations.clone();
+        let declared_places = placements.clone();
         stations = (0..n)
             .map(|i| declared[i % declared.len()].clone())
+            .collect();
+        placements = (0..n)
+            .map(|i| declared_places[i % declared_places.len()].clone())
             .collect();
     }
 
@@ -782,12 +1082,14 @@ pub fn compile(doc: &Doc) -> Result<ScenarioSpec, CompileError> {
         .collect();
 
     let check = compile_check(doc)?;
+    let topo = compile_topology(doc, &cfg, &placements)?;
 
     Ok(ScenarioSpec {
         name,
         cfg,
         check,
         rate_labels,
+        topo,
     })
 }
 
@@ -891,6 +1193,129 @@ direction = "down"
         assert!(matches!(spec.cfg.stations[0].link, LinkSpec::Path { .. }));
         assert!(spec.cfg.retry_rate_fallback);
         assert_eq!(spec.rate_labels, vec!["path"]);
+    }
+
+    #[test]
+    fn topology_scenario_compiles() {
+        let spec = compile_text(
+            r#"
+duration_s = 10
+[topology]
+hysteresis_db = 4.0
+assoc_tick_ms = 50
+rate_set = "b"
+
+[[cells]]
+x_ft = 0
+y_ft = 0
+channel = 1
+
+[[cells]]
+x_ft = 150
+channel = 6
+
+[[station]]
+rate = "11"
+x_ft = 0
+y_ft = 10
+
+[[station]]
+rate = "1"
+auto_rate = true
+[[station.mobility]]
+speed_fps = 15
+x_ft = [0, 300]
+y_ft = [10, 10]
+"#,
+        )
+        .unwrap();
+        let topo = spec.topo.expect("topology");
+        assert_eq!(topo.cells.len(), 2);
+        assert_eq!(topo.cells[1].position.x_ft, 150.0);
+        assert_eq!(topo.cells[1].channel, 6);
+        assert_eq!(topo.hysteresis_db, 4.0);
+        assert_eq!(topo.assoc_tick, SimDuration::from_millis(50));
+        assert_eq!(topo.placements.len(), 2);
+        assert_eq!(
+            topo.placements[0].rate,
+            airtime_topo::RatePolicy::Pinned(DataRate::B11)
+        );
+        assert_eq!(topo.placements[1].rate, airtime_topo::RatePolicy::Auto);
+        let path = topo.placements[1].mobility.as_ref().expect("mobility");
+        assert_eq!(path.waypoints.len(), 2);
+        assert_eq!(topo.base.stations.len(), spec.cfg.stations.len());
+        topo.validate();
+    }
+
+    #[test]
+    fn placements_replicate_with_station_count() {
+        let spec = compile_text(
+            r#"
+station_count = 4
+[[cells]]
+channel = 1
+[[station]]
+rate = "11"
+x_ft = 30
+[[station]]
+rate = "1"
+x_ft = 60
+"#,
+        )
+        .unwrap();
+        let topo = spec.topo.unwrap();
+        assert_eq!(topo.placements.len(), 4);
+        assert_eq!(topo.placements[0].position.x_ft, 30.0);
+        assert_eq!(topo.placements[1].position.x_ft, 60.0);
+        assert_eq!(topo.placements[2].position.x_ft, 30.0);
+        assert_eq!(topo.placements[3].position.x_ft, 60.0);
+    }
+
+    #[test]
+    fn single_cell_scenarios_have_no_topology() {
+        let spec = compile_text("[[station]]\nrate = \"11\"\n").unwrap();
+        assert!(spec.topo.is_none());
+    }
+
+    #[test]
+    fn topology_rejections() {
+        for (text, needle) in [
+            (
+                "[topology]\nhysteresis_db = 6\n[[station]]\nrate = \"11\"\n",
+                "requires at least one [[cells]]",
+            ),
+            (
+                "[[station]]\nrate = \"11\"\nx_ft = 5\n",
+                "requires [[cells]]",
+            ),
+            (
+                "[cells]\nchannel = 1\n[[station]]\nrate = \"11\"\n",
+                "double brackets",
+            ),
+            (
+                "[[cells]]\nchannel = 0\n[[station]]\nrate = \"11\"\n",
+                "channel number in 1..=255",
+            ),
+            (
+                "[[cells]]\nchannel = 1\n[topology]\nrate_set = \"n\"\n[[station]]\nrate = \"11\"\n",
+                "unknown rate_set 'n'",
+            ),
+            (
+                "[[cells]]\nchannel = 1\n[[station]]\nrate = \"11\"\n[[station.mobility]]\nspeed_fps = 5\nx_ft = [0, 10]\ny_ft = [0]\n",
+                "pairwise",
+            ),
+            (
+                "[[cells]]\nchannel = 1\n[[station]]\nrate = \"11\"\n[[station.mobility]]\nx_ft = [0]\ny_ft = [0]\n",
+                "needs 'speed_fps'",
+            ),
+            (
+                "[[cells]]\nchannel = 1\nbogus = 1\n[[station]]\nrate = \"11\"\n",
+                "unknown key 'bogus'",
+            ),
+        ] {
+            let e = compile_text(text).unwrap_err();
+            assert!(e.msg.contains(needle), "for {text:?}: got '{e}'");
+        }
     }
 
     #[test]

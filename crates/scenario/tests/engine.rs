@@ -5,7 +5,10 @@
 
 use std::path::{Path, PathBuf};
 
-use airtime_scenario::{compile, emit, expand, load, run_sweep_text, CheckOutcome};
+use airtime_core::TbrConfig;
+use airtime_phy::DataRate;
+use airtime_scenario::toml::Value;
+use airtime_scenario::{compile, emit, expand, load, run_sweep, run_sweep_text, CheckOutcome};
 use airtime_sim::SimDuration;
 use airtime_wlan::{scenarios, Direction, NetworkConfig, SchedulerKind, Transport};
 
@@ -171,6 +174,173 @@ seed = [7, 8]
     assert_eq!(csv(&one), csv(&four));
     // And the documents carry no worker accounting to leak through.
     assert!(!json(&one).contains("thread"));
+}
+
+#[test]
+fn ablation_bucket_depth_example_agrees_with_the_bench_binary() {
+    let doc = load(&example("ablation_bucket_depth.toml")).unwrap();
+    let (axes, jobs) = expand(&doc, "bucket").unwrap();
+    assert_eq!(axes[0].name, "scheduler.bucket_ms");
+    assert_eq!(jobs.len(), 6);
+    // Job 2 is the 20 ms bucket; the binary builds the same TbrConfig
+    // by hand (initial grant clamped to the 5 ms default).
+    let tc = TbrConfig {
+        bucket: SimDuration::from_millis(20),
+        initial_tokens: SimDuration::from_millis(5),
+        ..TbrConfig::default()
+    };
+    assert_runs_agree(
+        "ablation/bucket=20ms",
+        jobs[2].spec.cfg.clone(),
+        scenarios::downloaders(&[DataRate::B11, DataRate::B1], SchedulerKind::Tbr(tc)),
+    );
+}
+
+#[test]
+fn ablation_fill_period_example_agrees_with_the_bench_binary() {
+    let doc = load(&example("ablation_fill_period.toml")).unwrap();
+    let (_, jobs) = expand(&doc, "fill").unwrap();
+    assert_eq!(jobs.len(), 6);
+    // Job 2 is the 2 ms fill period.
+    let tc = TbrConfig {
+        fill_period: SimDuration::from_micros(2_000),
+        ..TbrConfig::default()
+    };
+    assert_runs_agree(
+        "ablation/fill=2ms",
+        jobs[2].spec.cfg.clone(),
+        scenarios::downloaders(&[DataRate::B11, DataRate::B1], SchedulerKind::Tbr(tc)),
+    );
+}
+
+#[test]
+fn ablation_adjust_period_example_agrees_with_the_bench_binary() {
+    let doc = load(&example("ablation_adjust_period.toml")).unwrap();
+    let (_, jobs) = expand(&doc, "adjust").unwrap();
+    assert_eq!(jobs.len(), 6);
+    // Job 1 is the 500 ms adjust period on the Table 4 workload.
+    let tc = TbrConfig {
+        adjust_period: SimDuration::from_millis(500),
+        ..TbrConfig::default()
+    };
+    assert_runs_agree(
+        "ablation/adjust=500ms",
+        jobs[1].spec.cfg.clone(),
+        scenarios::bottleneck_table4(SchedulerKind::Tbr(tc)),
+    );
+}
+
+#[test]
+fn ablation_retry_info_example_agrees_with_the_bench_binary() {
+    let doc = load(&example("ablation_retry_info.toml")).unwrap();
+    let (axes, jobs) = expand(&doc, "retry").unwrap();
+    let names: Vec<&str> = axes.iter().map(|a| a.name.as_str()).collect();
+    assert_eq!(names, ["station.1.fer", "uplink_retry_info"]);
+    assert_eq!(jobs.len(), 4);
+    // Job 3 is the binary's "exact retry info, 20% loss" row.
+    assert!(jobs[3].spec.cfg.uplink_retry_info);
+    let mut cfg = scenarios::uploaders(&[DataRate::B11, DataRate::B1], SchedulerKind::tbr());
+    cfg.uplink_retry_info = true;
+    cfg.stations[1].link = airtime_wlan::LinkSpec::Fixed {
+        rate: DataRate::B1,
+        fer: 0.2,
+    };
+    assert_runs_agree(
+        "ablation/retry=exact/fer=0.2",
+        jobs[3].spec.cfg.clone(),
+        cfg,
+    );
+}
+
+#[test]
+fn ablation_scheduler_family_example_agrees_with_the_bench_binary() {
+    let doc = load(&example("ablation_scheduler_family.toml")).unwrap();
+    let (_, jobs) = expand(&doc, "family").unwrap();
+    assert_eq!(jobs.len(), 5);
+    for (i, sched) in [(0, SchedulerKind::Fifo), (3, SchedulerKind::tbr())] {
+        assert_runs_agree(
+            &format!("ablation/family/{sched:?}"),
+            jobs[i].spec.cfg.clone(),
+            scenarios::downloaders(&[DataRate::B11, DataRate::B1], sched),
+        );
+    }
+}
+
+#[test]
+fn mixed_rate_grid_jain_and_baseline_columns_split_by_family() {
+    // Shortened uplink-only slice of the grid: the time-fair
+    // disciplines equalise airtime, the throughput-fair ones equalise
+    // goodput, and each family passes its own baseline check.
+    let mut doc = load(&example("mixed_rate_grid.toml")).unwrap();
+    doc.set_path("duration_s", Value::Int(6), 0).unwrap();
+    doc.set_path("warmup_s", Value::Int(1), 0).unwrap();
+    doc.set_path(
+        "sweep.direction",
+        Value::Array(vec![Value::Str("down".into())]),
+        0,
+    )
+    .unwrap();
+    let out = run_sweep(&doc, "grid.toml", 4).unwrap();
+    assert_eq!(out.cells.len(), 3); // rr, tbr, txop
+    for c in &out.cells {
+        assert_eq!(c.stations.len(), 8);
+        let family = &c.coords[1].1;
+        let time_fair = family == "tbr" || family == "txop";
+        if time_fair {
+            assert!(
+                c.jain_airtime > 0.97,
+                "{family}: jain_airtime {}",
+                c.jain_airtime
+            );
+        } else {
+            assert!(
+                c.jain_throughput > 0.97,
+                "{family}: jain_throughput {}",
+                c.jain_throughput
+            );
+        }
+        assert!(
+            matches!(c.check, CheckOutcome::Pass),
+            "{family}: {:?}",
+            c.check
+        );
+        assert!(c.roam.is_none());
+    }
+    // Time-based fairness lifts the aggregate (the paper's headline).
+    assert!(out.cells[1].total_mbps > 1.5 * out.cells[0].total_mbps);
+}
+
+#[test]
+fn roam_example_sweeps_deterministically_across_thread_counts() {
+    let doc = load(&example("roam_three_cells.toml")).unwrap();
+    let one = run_sweep(&doc, "roam.toml", 1).unwrap();
+    let four = run_sweep(&doc, "roam.toml", 4).unwrap();
+    let json = |o: &airtime_scenario::SweepOutcome| emit::to_json(&o.name, &o.axes, &o.cells);
+    let csv = |o: &airtime_scenario::SweepOutcome| emit::to_csv(&o.name, &o.axes, &o.cells);
+    assert_eq!(json(&one), json(&four));
+    assert_eq!(csv(&one), csv(&four));
+
+    assert_eq!(one.cells.len(), 2); // rr, tbr
+    for c in &one.cells {
+        let roam = c.roam.as_ref().expect("topology cell");
+        assert_eq!(roam.handoffs, 2, "{:?}", c.coords);
+        assert_eq!(roam.drops, 0);
+        assert_eq!(roam.outage_s, 0.0);
+        assert!(roam.audits_pass, "worst {} ns", roam.worst_audit_error_ns);
+        assert_eq!(roam.cell_mbps.len(), 3);
+        assert!(roam.cell_mbps.iter().all(|&m| m > 0.0));
+    }
+    assert!(!one.audit_failure);
+    // The CSV grew the roaming columns.
+    let text = csv(&one);
+    assert!(text
+        .lines()
+        .nth(1)
+        .unwrap()
+        .contains("handoffs,drops,outage_s,audit,cell0_mbps"));
+    // TBR beats round-robin in aggregate while the 1M walker roams
+    // through: the per-cell regulator contains the anomaly per cell.
+    assert!(one.cells[1].total_mbps > one.cells[0].total_mbps);
 }
 
 #[test]

@@ -1,0 +1,61 @@
+//! Plane geometry for AP and station placement.
+//!
+//! The paper's office experiment (§3, EXP-1) measures distances in
+//! feet, so the whole topology layer does too; conversion to metres
+//! happens only at the path-loss boundary
+//! ([`airtime_phy::pathloss::feet_to_metres`]).
+
+/// A position on the floor plan, in feet.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// East–west coordinate, feet.
+    pub x_ft: f64,
+    /// North–south coordinate, feet.
+    pub y_ft: f64,
+}
+
+impl Point {
+    /// A point at `(x_ft, y_ft)`.
+    pub fn new(x_ft: f64, y_ft: f64) -> Self {
+        Point { x_ft, y_ft }
+    }
+
+    /// Euclidean distance to `other`, feet.
+    pub fn distance_ft(&self, other: Point) -> f64 {
+        let dx = self.x_ft - other.x_ft;
+        let dy = self.y_ft - other.y_ft;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The point a fraction `f` (clamped to `[0, 1]`) of the way from
+    /// `self` towards `to`.
+    pub fn lerp(&self, to: Point, f: f64) -> Point {
+        let f = f.clamp(0.0, 1.0);
+        Point {
+            x_ft: self.x_ft + (to.x_ft - self.x_ft) * f,
+            y_ft: self.y_ft + (to.y_ft - self.y_ft) * f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_ft(b), 5.0);
+        assert_eq!(b.distance_ft(a), 5.0);
+    }
+
+    #[test]
+    fn lerp_interpolates_and_clamps() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -10.0);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, -5.0));
+        assert_eq!(a.lerp(b, 2.0), b);
+        assert_eq!(a.lerp(b, -1.0), a);
+    }
+}

@@ -36,7 +36,9 @@ use airtime_sim::{
 };
 use airtime_trace::{FrameRecord, Trace};
 
-use crate::config::{Direction, LinkSpec, NetworkConfig, Regulate, SchedulerKind, Transport};
+use crate::config::{
+    Direction, FlowSpec, LinkSpec, NetworkConfig, Regulate, SchedulerKind, Transport,
+};
 use crate::report::{FlowReport, NodeReport, Report};
 
 const AP: NodeId = NodeId(0);
@@ -51,10 +53,16 @@ enum Event {
     RtoFired {
         flow: usize,
         generation: u64,
+        /// Flow incarnation stamp: a handoff re-creates the flow's
+        /// transport state, and timers armed by the previous
+        /// incarnation must not fire into the new one (their
+        /// generation counters restart and can collide).
+        epoch: u64,
     },
     DelAckFired {
         flow: usize,
         generation: u64,
+        epoch: u64,
     },
     SchedTick,
     Pump {
@@ -107,6 +115,9 @@ impl Sched {
             other => other.on_associate(c, now),
         }
     }
+    fn on_disassociate(&mut self, c: ClientId, now: SimTime) -> Vec<QueuedPacket> {
+        sched_delegate!(self, s => s.on_disassociate(c, now))
+    }
     fn enqueue(&mut self, p: QueuedPacket, now: SimTime) -> EnqueueOutcome {
         sched_delegate!(self, s => s.enqueue(p, now))
     }
@@ -148,6 +159,10 @@ struct FlowRt {
     direction: Direction,
     start: SimTime,
     started: bool,
+    /// Incarnation counter, bumped whenever a handoff tears the flow's
+    /// transport state down. Timer events stamped with an older epoch
+    /// are stale and ignored. Always 0 in single-cell runs.
+    epoch: u64,
     tcp_tx: Option<TcpSender>,
     tcp_rx: Option<TcpReceiver>,
     udp: Option<UdpSource>,
@@ -278,7 +293,7 @@ pub fn run_instrumented<O: Observer>(
     assert!(!cfg.stations.is_empty(), "need at least one station");
     assert!(!cfg.duration.is_zero(), "duration must be positive");
     assert!(cfg.warmup < cfg.duration, "warm-up must precede the end");
-    let mut sim = Sim::new(cfg, obs, metrics);
+    let mut sim = Sim::new(cfg, obs, metrics, None);
     sim.queue
         .schedule(SimTime::ZERO + cfg.warmup, Event::WarmupDone);
     if sim.dense_ticks {
@@ -346,6 +361,7 @@ impl<'c, O: Observer> Sim<'c, O> {
         cfg: &'c NetworkConfig,
         obs: &'c mut O,
         metrics: Option<&'c mut MetricsRegistry>,
+        active: Option<&[bool]>,
     ) -> Self {
         let n = cfg.stations.len();
         let mut links = vec![LinkErrorModel::Perfect; n + 1];
@@ -435,6 +451,7 @@ impl<'c, O: Observer> Sim<'c, O> {
                     direction: spec.direction,
                     start: spec.start,
                     started: false,
+                    epoch: 0,
                     tcp_tx,
                     tcp_rx,
                     udp,
@@ -446,16 +463,27 @@ impl<'c, O: Observer> Sim<'c, O> {
                 });
             }
         }
+        // A topology driver may start some stations unassociated (they
+        // roam in later); single-cell runs associate everyone at t=0.
+        let is_active = |st: usize| active.is_none_or(|m| m[st]);
         match cfg.regulate {
             Regulate::PerStation => {
                 for i in 0..n {
-                    sched.on_associate_weighted(ClientId(i), cfg.stations[i].weight, SimTime::ZERO);
+                    if is_active(i) {
+                        sched.on_associate_weighted(
+                            ClientId(i),
+                            cfg.stations[i].weight,
+                            SimTime::ZERO,
+                        );
+                    }
                 }
             }
             Regulate::PerFlow => {
                 for (f, rt) in flows.iter().enumerate() {
-                    let weight = cfg.stations[rt.station].weight;
-                    sched.on_associate_weighted(ClientId(f), weight, SimTime::ZERO);
+                    if is_active(rt.station) {
+                        let weight = cfg.stations[rt.station].weight;
+                        sched.on_associate_weighted(ClientId(f), weight, SimTime::ZERO);
+                    }
                 }
             }
         }
@@ -771,7 +799,14 @@ impl<'c, O: Observer> Sim<'c, O> {
             }
             Event::WiredToAp(pkt) => self.on_wired_to_ap(pkt),
             Event::WiredToHost(pkt) => self.on_wired_to_host(pkt),
-            Event::RtoFired { flow, generation } => {
+            Event::RtoFired {
+                flow,
+                generation,
+                epoch,
+            } => {
+                if epoch != self.flows[flow].epoch {
+                    return; // armed by a pre-handoff incarnation
+                }
                 let now = self.now;
                 let mut fx = Vec::new();
                 let fired = match self.flows[flow].tcp_tx.as_mut() {
@@ -787,7 +822,14 @@ impl<'c, O: Observer> Sim<'c, O> {
                 }
                 self.apply_sender_effects(flow, fx);
             }
-            Event::DelAckFired { flow, generation } => {
+            Event::DelAckFired {
+                flow,
+                generation,
+                epoch,
+            } => {
+                if epoch != self.flows[flow].epoch {
+                    return;
+                }
                 let fx = match self.flows[flow].tcp_rx.as_mut() {
                     Some(rx) => rx.on_delack_fired(generation),
                     None => Vec::new(),
@@ -1141,8 +1183,15 @@ impl<'c, O: Observer> Sim<'c, O> {
         for e in effects {
             match e {
                 SenderEffect::ArmRto { at, generation } => {
-                    self.queue
-                        .schedule(at, Event::RtoFired { flow, generation });
+                    let epoch = self.flows[flow].epoch;
+                    self.queue.schedule(
+                        at,
+                        Event::RtoFired {
+                            flow,
+                            generation,
+                            epoch,
+                        },
+                    );
                 }
                 SenderEffect::Complete => {
                     let started = self.flows[flow].start;
@@ -1182,8 +1231,15 @@ impl<'c, O: Observer> Sim<'c, O> {
                     }
                 }
                 ReceiverEffect::ArmDelAck { at, generation } => {
-                    self.queue
-                        .schedule(at, Event::DelAckFired { flow, generation });
+                    let epoch = self.flows[flow].epoch;
+                    self.queue.schedule(
+                        at,
+                        Event::DelAckFired {
+                            flow,
+                            generation,
+                            epoch,
+                        },
+                    );
                 }
             }
         }
@@ -1444,6 +1500,125 @@ impl<'c, O: Observer> Sim<'c, O> {
         }
     }
 
+    // -- association lifecycle (multi-cell topology support) -------------
+
+    /// Scheduler keys owned by `station` under the configured
+    /// regulation granularity.
+    fn keys_of_station(&self, station: usize) -> Vec<ClientId> {
+        match self.cfg.regulate {
+            Regulate::PerStation => vec![ClientId(station)],
+            Regulate::PerFlow => self
+                .flows
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.station == station)
+                .map(|(i, _)| ClientId(i))
+                .collect(),
+        }
+    }
+
+    /// Replaces a flow's transport state with a fresh incarnation
+    /// starting at `now` (a roaming client reconnects at its new AP;
+    /// TCP state does not survive the handoff). Goodput and latency
+    /// accounting are cumulative across incarnations.
+    fn rebuild_flow(&mut self, flow: usize, spec: &FlowSpec, now: SimTime) {
+        let id = FlowId(flow);
+        let limiter = spec
+            .rate_limit_bps
+            .filter(|_| spec.transport == Transport::Tcp)
+            .map(|bps| RateLimiter::new(bps, 2 * self.cfg.tcp.mss));
+        let (tcp_tx, tcp_rx, udp) = match spec.transport {
+            Transport::Tcp => (
+                Some(TcpSender::new(
+                    id,
+                    self.cfg.tcp.clone(),
+                    spec.task_bytes,
+                    limiter,
+                )),
+                Some(TcpReceiver::new(id, self.cfg.tcp.clone())),
+                None,
+            ),
+            Transport::Udp => (
+                None,
+                None,
+                Some(UdpSource::new(
+                    id,
+                    UdpConfig {
+                        datagram_bytes: 1500,
+                        rate_bps: spec.rate_limit_bps,
+                        task_bytes: spec.task_bytes,
+                    },
+                )),
+            ),
+        };
+        let f = &mut self.flows[flow];
+        f.start = now;
+        f.started = true;
+        f.tcp_tx = tcp_tx;
+        f.tcp_rx = tcp_rx;
+        f.udp = udp;
+        f.metered_bytes = 0;
+        f.completion = None;
+    }
+
+    /// Registers `station` with the AP scheduler and starts fresh
+    /// transport incarnations for its flows. `now` must be at or after
+    /// every event this cell has dispatched.
+    fn associate_station(&mut self, station: usize, now: SimTime) {
+        self.now = now;
+        let weight = self.cfg.stations[station].weight;
+        for key in self.keys_of_station(station) {
+            self.sched.on_associate_weighted(key, weight, now);
+        }
+        let cfg = self.cfg;
+        let mut flow = 0;
+        for (s, st) in cfg.stations.iter().enumerate() {
+            for spec in &st.flows {
+                if s == station {
+                    self.rebuild_flow(flow, spec, now);
+                }
+                flow += 1;
+            }
+        }
+        // The association happens between events on the shared
+        // timeline, so prime traffic and the MAC here rather than
+        // waiting for this cell's next dispatch.
+        self.pump_all();
+        self.kick_all();
+        self.ensure_sched_wake();
+    }
+
+    /// Removes `station` from the AP scheduler: flushes its AP-side
+    /// queues (the flushed frames never reached the MAC and simply
+    /// vanish from the in-transit map), clears its uplink interface
+    /// queue and tears its transport state down. A frame already
+    /// committed to the MAC completes its exchange — the radio does
+    /// not recall it; the scheduler ignores the late completion debit.
+    fn disassociate_station(&mut self, station: usize, now: SimTime) {
+        self.now = now;
+        for key in self.keys_of_station(station) {
+            for q in self.sched.on_disassociate(key, now) {
+                self.in_transit.remove(&q.handle);
+            }
+            self.emit_ap_queue(key);
+        }
+        let node = station + 1;
+        if !self.client_q[node].is_empty() {
+            self.client_q[node].clear();
+            self.emit_client_queue(node);
+        }
+        for f in self.flows.iter_mut() {
+            if f.station == station {
+                f.epoch += 1;
+                f.started = false;
+                f.tcp_tx = None;
+                f.tcp_rx = None;
+                f.udp = None;
+                f.pump_pending = false;
+            }
+        }
+    }
+
     // -- results ---------------------------------------------------------
 
     fn report(mut self) -> Report {
@@ -1540,6 +1715,170 @@ fn client_node(frame: &Frame) -> usize {
     }
 }
 
+/// One cell of a multi-AP topology, exposed as a steppable simulation.
+///
+/// The single-cell engine ([`run`]) owns its event loop; a multi-cell
+/// driver instead interleaves several cells on one shared timeline,
+/// always stepping the cell holding the globally-earliest event.
+/// `CellSim` wraps the engine for that purpose and adds the
+/// association lifecycle a roaming station needs — flush-and-leave at
+/// the old AP, fresh registration (and fresh transport incarnations)
+/// at the new one — plus the busy-window hooks a driver uses to couple
+/// co-channel cells through carrier sense.
+///
+/// Ordering contract: mutating calls (`associate`, `disassociate`,
+/// `defer_all`, `step`) must be non-decreasing in time. A driver that
+/// only touches a cell when the shared timeline has caught up with it
+/// (every already-dispatched event of this cell is at or before `now`)
+/// satisfies this by construction.
+pub struct CellSim<'c, O: Observer> {
+    sim: Sim<'c, O>,
+    associated: Vec<bool>,
+}
+
+impl<'c, O: Observer> CellSim<'c, O> {
+    /// Builds a cell over `cfg` with an initial association mask
+    /// (`active[i]` — station `i` starts associated here). Inactive
+    /// stations hold no scheduler slot and start no flows until
+    /// [`CellSim::associate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed configs (as [`run`]) or when the mask
+    /// length disagrees with the station count.
+    pub fn new(cfg: &'c NetworkConfig, obs: &'c mut O, active: &[bool]) -> Self {
+        assert!(!cfg.stations.is_empty(), "need at least one station");
+        assert!(!cfg.duration.is_zero(), "duration must be positive");
+        assert!(cfg.warmup < cfg.duration, "warm-up must precede the end");
+        assert_eq!(
+            active.len(),
+            cfg.stations.len(),
+            "association mask must cover every station"
+        );
+        let mut sim = Sim::new(cfg, obs, None, Some(active));
+        sim.queue
+            .schedule(SimTime::ZERO + cfg.warmup, Event::WarmupDone);
+        if sim.dense_ticks {
+            if let Some(p) = sim.sched.tick_period() {
+                sim.queue.schedule(SimTime::ZERO + p, Event::SchedTick);
+            }
+        }
+        for f in 0..sim.flows.len() {
+            if active[sim.flows[f].station] {
+                let at = sim.flows[f].start;
+                sim.queue.schedule(at, Event::StartFlow { flow: f });
+            }
+        }
+        CellSim {
+            sim,
+            associated: active.to_vec(),
+        }
+    }
+
+    /// Time of this cell's earliest pending event. Takes `&mut self`
+    /// because the wheel backend may cascade timers to answer.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.sim.queue.peek_time()
+    }
+
+    /// Time of the last dispatched event (the cell's local clock).
+    pub fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    /// Dispatches exactly one event — the earliest pending — and
+    /// returns its time; `None` when the cell is drained.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (t, ev) = self.sim.queue.pop()?;
+        self.sim.now = t;
+        self.sim.dispatch(ev);
+        self.sim.pump_all();
+        self.sim.kick_all();
+        self.sim.ensure_sched_wake();
+        Some(t)
+    }
+
+    /// Ends the run at `end`: brings the scheduler's periodic state up
+    /// to the boundary, closes the airtime timeline so per-cell traces
+    /// audit on their own, and produces the cell's report.
+    pub fn finish(mut self, end: SimTime) -> Report {
+        self.sim.now = end;
+        self.sim.sched.on_tick(end);
+        self.sim.finish_airtime(end);
+        self.sim.report()
+    }
+
+    /// True while `station` holds an association at this AP.
+    pub fn is_associated(&self, station: usize) -> bool {
+        self.associated[station]
+    }
+
+    /// Associates `station` at `now`: fresh scheduler registration
+    /// (under TBR: initial tokens, recomputed rate shares) and fresh
+    /// transport incarnations for its flows. No-op when already
+    /// associated.
+    pub fn associate(&mut self, station: usize, now: SimTime) {
+        if self.associated[station] {
+            return;
+        }
+        self.associated[station] = true;
+        self.sim.associate_station(station, now);
+    }
+
+    /// Disassociates `station` at `now`, flushing its queues and
+    /// stopping its flows (see the engine-side notes on frames already
+    /// committed to the MAC). No-op when not associated.
+    pub fn disassociate(&mut self, station: usize, now: SimTime) {
+        if !self.associated[station] {
+            return;
+        }
+        self.associated[station] = false;
+        self.sim.disassociate_station(station, now);
+    }
+
+    /// Replaces `station`'s channel error model (mobility: path loss
+    /// follows position).
+    pub fn set_station_link(&mut self, station: usize, link: LinkErrorModel) {
+        self.sim.mac.set_link(NodeId(station + 1), link);
+    }
+
+    /// Pins `station`'s PHY rate, for drivers that select rates from
+    /// RSSI instead of per-cell ARF. Ignored while the station runs
+    /// ARF (a `Path` link with automatic rate control).
+    pub fn set_station_rate(&mut self, station: usize, rate: DataRate) {
+        self.sim.fixed_rate[station + 1] = rate;
+    }
+
+    /// End of this cell's current busy period, if its medium is busy.
+    pub fn busy_until(&self) -> Option<SimTime> {
+        self.sim.mac.busy_until()
+    }
+
+    /// Imposes an external busy window on every node of this cell —
+    /// co-channel carrier sense: a same-channel neighbour's exchange
+    /// defers this whole cell until it ends. Extending an existing
+    /// window is cheap; shrinking is impossible by design.
+    pub fn defer_all(&mut self, now: SimTime, until: SimTime) {
+        self.sim.now = now;
+        for node in 0..self.sim.client_q.len() {
+            let fx = self.sim.mac.set_defer(now, NodeId(node), until);
+            self.sim.apply_mac_effects(fx);
+        }
+    }
+
+    /// Cumulative goodput bytes delivered to/from `station` across all
+    /// its flow incarnations in this cell. Drivers difference this at
+    /// handoff boundaries for pre/post-handoff roaming throughput.
+    pub fn station_goodput_bytes(&self, station: usize) -> u64 {
+        self.sim
+            .flows
+            .iter()
+            .filter(|f| f.station == station)
+            .map(|f| f.meter.bytes())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1564,10 +1903,12 @@ mod tests {
             Event::RtoFired {
                 flow: 0,
                 generation: 0,
+                epoch: 0,
             },
             Event::DelAckFired {
                 flow: 0,
                 generation: 0,
+                epoch: 0,
             },
             Event::SchedTick,
             Event::Pump { flow: 0 },
@@ -1579,6 +1920,42 @@ mod tests {
             assert!(!a.is_empty(), "empty label for variant {i}");
             for (j, b) in labels.iter().enumerate().skip(i + 1) {
                 assert_ne!(a, b, "variants {i} and {j} share the label {a:?}");
+            }
+        }
+    }
+
+    /// The steppable facade must follow the exact trajectory of the
+    /// closed-loop engine when driven over the same span: same popped
+    /// events, same RNG draws, bit-identical report. Multi-cell runs
+    /// rest on this equivalence.
+    #[test]
+    fn cell_facade_reproduces_the_single_cell_engine() {
+        use crate::scenarios;
+        for sched in [
+            SchedulerKind::RoundRobin,
+            SchedulerKind::Tbr(Default::default()),
+        ] {
+            let mut cfg = scenarios::uploaders(&[DataRate::B11, DataRate::B1], sched);
+            cfg.duration = SimDuration::from_secs(5);
+            let direct = run(&cfg);
+            let mut obs = NullObserver;
+            let mut cell = CellSim::new(&cfg, &mut obs, &[true, true]);
+            let end = SimTime::ZERO + cfg.duration;
+            while cell.peek_time().is_some_and(|t| t <= end) {
+                cell.step();
+            }
+            let stepped = cell.finish(end);
+            assert_eq!(
+                direct.total_goodput_mbps.to_bits(),
+                stepped.total_goodput_mbps.to_bits(),
+                "goodput diverged under {:?}",
+                cfg.scheduler
+            );
+            assert_eq!(direct.mac.attempts, stepped.mac.attempts);
+            assert_eq!(direct.mac.delivered, stepped.mac.delivered);
+            for (a, b) in direct.flows.iter().zip(&stepped.flows) {
+                assert_eq!(a.goodput_bytes, b.goodput_bytes);
+                assert_eq!(a.retransmits, b.retransmits);
             }
         }
     }

@@ -59,6 +59,12 @@ OPTIONS (sweep):
     --json <path>       write the result matrix as schema'd JSON
     --csv <path>        write the result matrix as schema'd CSV
 
+Scenario files with [[cells]] tables describe multi-AP topologies
+(AP placement, channels, station positions and waypoint mobility).
+`run` prints per-cell results plus the handoff log; `sweep` grows
+roaming columns (handoffs / drops / outage / audit / per-cell Mb/s).
+Either command exits non-zero if a per-cell airtime-ledger audit fails.
+
 OPTIONS (inspect):
     --spans             per-station frame-lifecycle delay percentiles
                         (queueing / contention / head-of-line, p50/95/99)
@@ -214,6 +220,9 @@ fn cmd_run(a: &Args) -> Result<(), String> {
             }
             let spec = airtime::scenario::compile(&doc, &path.display().to_string())
                 .map_err(|e| e.to_string())?;
+            if spec.topo.is_some() {
+                return run_topology_scenario(a, &spec);
+            }
             (spec.cfg, spec.rate_labels)
         }
         None => {
@@ -334,6 +343,133 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `run --scenario` on a file with `[[cells]]`: executes the multi-cell
+/// topology on one timeline and prints per-cell results, the per-station
+/// fold, and the handoff log. Per-cell airtime ledgers always run; a
+/// failed conservation audit exits non-zero.
+fn run_topology_scenario(a: &Args, spec: &airtime::scenario::ScenarioSpec) -> Result<(), String> {
+    let topo = spec.topo.as_ref().expect("caller checked");
+    for (flag, used) in [
+        ("--events", a.events.is_some()),
+        ("--metrics", a.metrics.is_some()),
+        ("--metrics-csv", a.metrics_csv.is_some()),
+    ] {
+        if used {
+            return Err(format!(
+                "{flag} streams a single cell's events; it is not supported for \
+                 multi-cell topology scenarios"
+            ));
+        }
+    }
+    let mut obs: Vec<_> = (0..topo.cells.len())
+        .map(|_| TeeObserver::new(SpanCollector::new(), AirtimeLedger::new()))
+        .collect();
+    let tr = airtime::topo::run_topology(topo, &mut obs);
+    let delays: Vec<_> = obs.iter().map(|o| o.a.summary()).collect();
+    let audits: Vec<_> = obs.iter().map(|o| o.b.audit()).collect();
+    if let Some(path) = &a.ledger {
+        // One timeline file per radio cell: `<stem>.cell<i>[.ext]`.
+        for (i, o) in obs.iter().enumerate() {
+            let p = suffixed(path, &format!("cell{i}"));
+            std::fs::write(&p, o.b.timeline_csv())
+                .map_err(|e| format!("writing {}: {e}", p.display()))?;
+        }
+    }
+    let agg = airtime::scenario::aggregate::aggregate_topology(
+        0,
+        Vec::new(),
+        spec,
+        &tr,
+        &delays,
+        &audits,
+    );
+    let roam = agg.roam.as_ref().expect("topology aggregate");
+
+    if a.json {
+        let axes: [airtime::scenario::Axis; 0] = [];
+        print!(
+            "{}",
+            airtime::scenario::emit::to_json(&spec.name, &axes, std::slice::from_ref(&agg))
+        );
+    } else {
+        println!(
+            "{} cells, {} stations, {} s simulated\n",
+            topo.cells.len(),
+            spec.cfg.stations.len(),
+            topo.base.duration.as_secs_f64()
+        );
+        println!("cell  channel      at (ft)  goodput Mb/s  util %  audit");
+        for (i, c) in topo.cells.iter().enumerate() {
+            println!(
+                "{:>4}  {:>7}  {:>11}  {:>12.3}  {:>6.1}  {}",
+                i,
+                c.channel,
+                format!("({:.0},{:.0})", c.position.x_ft, c.position.y_ft),
+                tr.cells[i].total_goodput_mbps,
+                tr.cells[i].utilization * 100.0,
+                if audits[i].conserved { "pass" } else { "FAIL" },
+            );
+        }
+        println!("\nstation  rate   total Mb/s  handoffs  outage s");
+        for (s, st) in agg.stations.iter().enumerate() {
+            println!(
+                "{:>7}  {:>4}  {:>11.3}  {:>8}  {:>8.1}",
+                s + 1,
+                st.rate,
+                st.goodput_mbps,
+                tr.roaming.handoff_count(s),
+                tr.roaming.outage.get(s).map_or(0.0, |o| o.as_secs_f64()),
+            );
+        }
+        if !tr.roaming.handoffs.is_empty() {
+            println!("\nassociation transitions:");
+            for h in &tr.roaming.handoffs {
+                let cell =
+                    |c: Option<usize>| c.map(|c| format!("cell {c}")).unwrap_or_else(|| "-".into());
+                println!(
+                    "  t={:>6.1}s  station {}: {} -> {}",
+                    h.at.as_secs_f64(),
+                    h.station + 1,
+                    cell(h.from),
+                    cell(h.to),
+                );
+            }
+        }
+        println!(
+            "\ntotal {:.3} Mb/s across cells   handoffs {}   drops {}   outage {:.1} s",
+            tr.total_goodput_mbps(),
+            roam.handoffs,
+            roam.drops,
+            roam.outage_s
+        );
+    }
+    if !roam.audits_pass {
+        return Err(format!(
+            "airtime conservation audit failed in at least one cell \
+             (worst error {} ns)",
+            roam.worst_audit_error_ns
+        ));
+    }
+    Ok(())
+}
+
+/// `events.csv` + `cell1` -> `events.cell1.csv` (suffix appended when
+/// there is no extension).
+fn suffixed(path: &std::path::Path, tag: &str) -> PathBuf {
+    let mut p = path.to_path_buf();
+    match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+            p.set_file_name(format!("{stem}.{tag}.{ext}"));
+        }
+        None => {
+            let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("out");
+            p.set_file_name(format!("{name}.{tag}"));
+        }
+    }
+    p
+}
+
 /// One word describing where the cell's flows point: `Uplink`,
 /// `Downlink`, or `Mixed` when a scenario file declares both.
 fn direction_label(cfg: &airtime::wlan::NetworkConfig) -> String {
@@ -436,16 +572,29 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
             "{failed} cell(s) failed the baseline check and the scenario sets [check] strict = true"
         ));
     }
+    if outcome.audit_failure {
+        return Err(
+            "airtime conservation audit failed in at least one topology cell \
+             (a non-conserved timeline is a simulator defect)"
+                .into(),
+        );
+    }
     Ok(())
 }
 
 /// The per-cell stdout table for `sweep`: one row per matrix cell.
+/// Topology sweeps (any cell with roaming metrics) grow handoff /
+/// drop / outage / audit columns plus per-radio-cell goodputs.
 fn print_sweep_table(out: &mut airtime::bench::Output, outcome: &airtime::scenario::SweepOutcome) {
+    let topo = outcome.cells.iter().any(|c| c.roam.is_some());
     let mut header: Vec<&str> = vec!["cell"];
     for ax in &outcome.axes {
         header.push(ax.name.as_str());
     }
     header.extend(["total Mb/s", "util %", "Jain(thpt)", "Jain(time)", "check"]);
+    if topo {
+        header.extend(["handoffs", "drops", "outage s", "audit", "cells Mb/s"]);
+    }
     let rows: Vec<Vec<String>> = outcome
         .cells
         .iter()
@@ -457,6 +606,24 @@ fn print_sweep_table(out: &mut airtime::bench::Output, outcome: &airtime::scenar
             row.push(format!("{:.3}", c.jain_throughput));
             row.push(format!("{:.3}", c.jain_airtime));
             row.push(c.check.label().to_string());
+            if topo {
+                match &c.roam {
+                    Some(r) => {
+                        row.push(r.handoffs.to_string());
+                        row.push(r.drops.to_string());
+                        row.push(format!("{:.1}", r.outage_s));
+                        row.push(if r.audits_pass { "pass" } else { "FAIL" }.into());
+                        row.push(
+                            r.cell_mbps
+                                .iter()
+                                .map(|m| format!("{m:.2}"))
+                                .collect::<Vec<_>>()
+                                .join("/"),
+                        );
+                    }
+                    None => row.extend(std::iter::repeat_n(String::new(), 5)),
+                }
+            }
             row
         })
         .collect();

@@ -20,6 +20,7 @@
 //! | [`trace`] | `airtime-trace` | trace synthesis + Figure 1/5 analyses |
 //! | [`wlan`] | `airtime-wlan` | the integrated experiment engine and scenarios |
 //! | [`obs`] | `airtime-obs` | structured event tracing, metrics registry, JSONL/CSV tools |
+//! | [`topo`] | `airtime-topo` | multi-cell topologies: AP placement, mobility, association/handoff |
 //! | [`scenario`] | `airtime-scenario` | declarative scenario files, sweeps, parallel execution |
 //! | [`bench`] | `airtime-bench` | paper table/figure binaries and their shared output sink |
 //!
@@ -51,5 +52,6 @@ pub use airtime_obs as obs;
 pub use airtime_phy as phy;
 pub use airtime_scenario as scenario;
 pub use airtime_sim as sim;
+pub use airtime_topo as topo;
 pub use airtime_trace as trace;
 pub use airtime_wlan as wlan;
