@@ -1,0 +1,291 @@
+//! Comparing two `BENCH_*.json` documents for performance regressions.
+//!
+//! Every bench binary mirrors its tables into JSON with `--json`, and
+//! each of those documents carries one or more `events_per_sec` leaves
+//! — the workspace's common currency for event-loop throughput. This
+//! module aligns those leaves between a *baseline* and a *candidate*
+//! document and flags every leaf whose throughput dropped by more than
+//! a configurable fraction. The `bench-diff` binary wraps it as the CI
+//! regression gate.
+//!
+//! Two modes, picked automatically:
+//!
+//! - **Aligned** (both documents carry the same `"bench"` name): every
+//!   `events_per_sec` leaf in the baseline must exist at the same
+//!   path in the candidate — combos/scenarios/cells are matched by
+//!   their identity keys, not array position — and each pair is
+//!   compared. A baseline path missing from the candidate is a schema
+//!   mismatch, not a pass.
+//! - **Headline** (different `"bench"` names, e.g. `queue_smoke` vs
+//!   `profile`): the documents measure different things, so only the
+//!   headline number — each document's *best* events/sec — is
+//!   compared. This is how `BENCH_pr4.json` gates a `profile` report.
+
+use airtime_obs::json::{self, Json};
+
+/// How two documents were compared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffMode {
+    /// Same bench: every baseline leaf matched by path.
+    Aligned,
+    /// Different benches: best-vs-best only.
+    Headline,
+}
+
+/// One compared `events_per_sec` pair.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Where the leaf lives (e.g. `combos[heap/dense]`).
+    pub path: String,
+    /// Baseline events/sec.
+    pub base: f64,
+    /// Candidate events/sec.
+    pub cand: f64,
+    /// Fractional change, `(cand - base) / base`; negative = slower.
+    pub delta: f64,
+    /// Whether the drop exceeded the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of a comparison.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Which mode was used.
+    pub mode: DiffMode,
+    /// Every compared pair, in baseline order.
+    pub rows: Vec<DiffRow>,
+    /// The regression threshold the rows were judged against.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// Whether any row regressed beyond the threshold.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+/// Keys that identify an array element for path alignment, tried in
+/// order. `combos[{"combo":"heap/dense",...}]` aligns by the combo
+/// name, scenarios by scenario name, cells by cell id — never by array
+/// position, so reordering a report is not a regression.
+const IDENTITY_KEYS: [&str; 5] = ["combo", "label", "scenario", "cell", "phase"];
+
+fn element_identity(v: &Json, index: usize) -> String {
+    for k in IDENTITY_KEYS {
+        if let Some(id) = v.get(k) {
+            match id {
+                Json::Str(s) => return s.clone(),
+                Json::Num(n) => return format!("{n}"),
+                _ => {}
+            }
+        }
+    }
+    format!("#{index}")
+}
+
+fn collect(v: &Json, path: &str, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Obj(kvs) => {
+            for (k, val) in kvs {
+                if k == "events_per_sec" {
+                    if let Some(n) = val.as_f64() {
+                        out.push((path.to_string(), n));
+                    }
+                    continue;
+                }
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                collect(val, &sub, out);
+            }
+        }
+        Json::Arr(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                let sub = format!("{path}[{}]", element_identity(x, i));
+                collect(x, &sub, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// All `events_per_sec` leaves of a document, with alignment paths.
+pub fn eps_leaves(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    collect(doc, "", &mut out);
+    out
+}
+
+/// Compares two rendered `BENCH_*.json` documents.
+///
+/// `threshold` is the tolerated fractional drop in events/sec (0.10 =
+/// fail when the candidate is more than 10 % slower). Returns `Err`
+/// on unparsable input, documents with no `events_per_sec` leaves, or
+/// (in aligned mode) baseline paths missing from the candidate —
+/// schema drift must fail loudly, not pass silently.
+pub fn compare(base_text: &str, cand_text: &str, threshold: f64) -> Result<Comparison, String> {
+    if !(0.0..1.0).contains(&threshold) {
+        return Err(format!("threshold must be in [0, 1), got {threshold}"));
+    }
+    let base = json::parse(base_text).map_err(|e| format!("baseline: {e}"))?;
+    let cand = json::parse(cand_text).map_err(|e| format!("candidate: {e}"))?;
+    let base_leaves = eps_leaves(&base);
+    let cand_leaves = eps_leaves(&cand);
+    if base_leaves.is_empty() {
+        return Err("baseline has no events_per_sec fields".to_string());
+    }
+    if cand_leaves.is_empty() {
+        return Err("candidate has no events_per_sec fields".to_string());
+    }
+    let bench_of = |d: &Json| d.get("bench").and_then(Json::as_str).map(str::to_string);
+    let same_bench = match (bench_of(&base), bench_of(&cand)) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    };
+
+    let judge = |path: String, base: f64, cand: f64| {
+        let delta = if base > 0.0 {
+            (cand - base) / base
+        } else {
+            0.0
+        };
+        DiffRow {
+            path,
+            base,
+            cand,
+            delta,
+            regressed: delta < -threshold,
+        }
+    };
+
+    if same_bench {
+        let mut rows = Vec::with_capacity(base_leaves.len());
+        for (path, b) in &base_leaves {
+            let c = cand_leaves
+                .iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| {
+                    format!("schema mismatch: baseline path '{path}' missing from candidate")
+                })?;
+            rows.push(judge(path.clone(), *b, c));
+        }
+        Ok(Comparison {
+            mode: DiffMode::Aligned,
+            rows,
+            threshold,
+        })
+    } else {
+        // Different benches measure different scenarios; compare each
+        // document's best throughput.
+        let best = |leaves: &[(String, f64)]| {
+            leaves
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty checked above")
+        };
+        let (bp, bv) = best(&base_leaves);
+        let (cp, cv) = best(&cand_leaves);
+        Ok(Comparison {
+            mode: DiffMode::Headline,
+            rows: vec![judge(format!("best[{bp} vs {cp}]"), bv, cv)],
+            threshold,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(bench: &str, combos: &[(&str, f64)]) -> String {
+        let combos: Vec<String> = combos
+            .iter()
+            .map(|(name, eps)| format!(r#"{{"combo":"{name}","events_per_sec":{eps}}}"#))
+            .collect();
+        format!(
+            r#"{{"bench":"{bench}","combos":[{}],"pass":true}}"#,
+            combos.join(",")
+        )
+    }
+
+    #[test]
+    fn regression_beyond_threshold_is_detected() {
+        let base = doc(
+            "queue_smoke",
+            &[("heap", 3_000_000.0), ("wheel", 2_800_000.0)],
+        );
+        let cand = doc(
+            "queue_smoke",
+            &[("heap", 3_100_000.0), ("wheel", 1_000_000.0)],
+        );
+        let cmp = compare(&base, &cand, 0.25).unwrap();
+        assert_eq!(cmp.mode, DiffMode::Aligned);
+        assert!(cmp.regressed());
+        let wheel = cmp.rows.iter().find(|r| r.path.contains("wheel")).unwrap();
+        assert!(wheel.regressed);
+        assert!(wheel.delta < -0.6);
+        let heap = cmp.rows.iter().find(|r| r.path.contains("[heap]")).unwrap();
+        assert!(!heap.regressed);
+    }
+
+    #[test]
+    fn drop_within_threshold_passes() {
+        let base = doc("queue_smoke", &[("heap", 3_000_000.0)]);
+        let cand = doc("queue_smoke", &[("heap", 2_700_000.0)]); // -10 %
+        let cmp = compare(&base, &cand, 0.25).unwrap();
+        assert!(!cmp.regressed());
+        assert_eq!(cmp.rows.len(), 1);
+        assert!((cmp.rows[0].delta - (-0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alignment_is_by_identity_not_position() {
+        let base = doc("b", &[("x", 100.0), ("y", 200.0)]);
+        let cand = doc("b", &[("y", 200.0), ("x", 100.0)]); // reordered
+        let cmp = compare(&base, &cand, 0.05).unwrap();
+        assert!(!cmp.regressed());
+    }
+
+    #[test]
+    fn missing_baseline_path_is_a_schema_error() {
+        let base = doc("b", &[("x", 100.0), ("y", 200.0)]);
+        let cand = doc("b", &[("x", 100.0)]);
+        let err = compare(&base, &cand, 0.25).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(err.contains("[y]"), "{err}");
+    }
+
+    #[test]
+    fn documents_without_events_per_sec_error() {
+        let base = doc("b", &[("x", 100.0)]);
+        assert!(compare(&base, r#"{"bench":"b","combos":[]}"#, 0.25)
+            .unwrap_err()
+            .contains("candidate has no events_per_sec"));
+        assert!(compare(r#"{"pass":true}"#, &base, 0.25)
+            .unwrap_err()
+            .contains("baseline has no events_per_sec"));
+        assert!(compare("not json", &base, 0.25).is_err());
+        assert!(compare(&base, &base, 1.5).is_err());
+    }
+
+    #[test]
+    fn different_benches_compare_headline_numbers() {
+        let base = doc(
+            "queue_smoke",
+            &[("heap", 3_000_000.0), ("wheel", 2_500_000.0)],
+        );
+        let cand =
+            r#"{"bench":"profile","scenarios":[{"scenario":"fig9","events_per_sec":2900000.0}]}"#;
+        let cmp = compare(&base, cand, 0.25).unwrap();
+        assert_eq!(cmp.mode, DiffMode::Headline);
+        assert_eq!(cmp.rows.len(), 1);
+        assert!(!cmp.regressed()); // 2.9M vs best 3.0M is within 25 %
+        let cmp = compare(&base, cand, 0.01).unwrap();
+        assert!(cmp.regressed());
+    }
+}

@@ -9,6 +9,7 @@
 //! time the same scenario code with the dependency-free [`harness`]
 //! module.
 
+pub mod diff;
 pub mod harness;
 pub mod output;
 

@@ -1,10 +1,13 @@
-//! Dependency-free JSON encoding and (flat-object) decoding.
+//! Dependency-free JSON encoding and decoding.
 //!
-//! The observability layer needs exactly two things from JSON: writing
-//! records/metric exports, and reading back the *flat* objects the
-//! JSONL event log consists of (`{"k": 1, "s": "x", "b": true}` — no
-//! nesting, no arrays). Both are small enough to implement here, which
-//! keeps the workspace free of registry dependencies.
+//! The observability layer needs three things from JSON: writing
+//! records/metric exports, reading back the *flat* objects the JSONL
+//! event log consists of (`{"k": 1, "s": "x", "b": true}` — use
+//! [`parse_flat`], which rejects nesting), and reading back the
+//! structured documents the workspace itself writes — perf reports,
+//! `BENCH_*.json`, Chrome traces (use [`parse`]). All three are small
+//! enough to implement here, which keeps the workspace free of
+//! registry dependencies.
 
 use std::fmt::Write as _;
 
@@ -251,6 +254,106 @@ pub fn parse_flat(line: &str) -> Result<Vec<(String, Value)>, String> {
     Ok(out)
 }
 
+/// A fully-parsed JSON value, nesting included.
+///
+/// [`parse_flat`] remains the right tool for the JSONL event log; this
+/// type exists for reading back structured documents the workspace
+/// itself writes — perf reports, `BENCH_*.json` files, Chrome traces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// Any JSON number (integers included).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The value as object members, if an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(kvs) => Some(kvs),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Parses one complete JSON document of any shape.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing garbage after document".to_string());
+    }
+    Ok(v)
+}
+
+/// Nesting deeper than this is rejected rather than risking a stack
+/// overflow on adversarial input.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -362,6 +465,64 @@ impl Parser<'_> {
         }
         Ok(value)
     }
+
+    /// One JSON value of any shape, recursing into arrays and objects.
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut kvs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(kvs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let v = self.value(depth + 1)?;
+                    kvs.push((key, v));
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Json::Obj(kvs)),
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut xs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(xs));
+                }
+                loop {
+                    self.skip_ws();
+                    xs.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Json::Arr(xs)),
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            _ => Ok(match self.scalar()? {
+                Value::Num(n) => Json::Num(n),
+                Value::Str(s) => Json::Str(s),
+                Value::Bool(b) => Json::Bool(b),
+                Value::Null => Json::Null,
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +579,48 @@ mod tests {
         assert!(parse_flat(r#"{"a": {"b": 1}}"#).is_err());
         assert!(parse_flat(r#"{"a": 1} extra"#).is_err());
         assert!(parse_flat(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn nested_parse_round_trips_structured_documents() {
+        let doc = r#"{"bench":"profile","combos":[{"label":"a b","events_per_sec":3.5e6,"pass":true},{"label":"c","events_per_sec":1200,"extra":null}],"meta":{"seed":42}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("profile"));
+        let combos = v.get("combos").and_then(Json::as_arr).unwrap();
+        assert_eq!(combos.len(), 2);
+        assert_eq!(
+            combos[0].get("events_per_sec").and_then(Json::as_f64),
+            Some(3.5e6)
+        );
+        assert_eq!(combos[1].get("extra"), Some(&Json::Null));
+        assert_eq!(
+            v.get("meta")
+                .and_then(|m| m.get("seed"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn nested_parse_accepts_top_level_arrays_and_scalars() {
+        assert_eq!(
+            parse("[1, [2, 3], []]").unwrap(),
+            Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0), Json::Num(3.0)]),
+                Json::Arr(vec![]),
+            ])
+        );
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("\"x\"").unwrap(), Json::Str("x".into()));
+    }
+
+    #[test]
+    fn nested_parse_rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a": 1} extra"#).is_err());
+        assert!(parse(&("[".repeat(200) + &"]".repeat(200))).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod json;
 pub mod ledger;
 pub mod metrics;
 pub mod observer;
+pub mod prof;
 pub mod spans;
 
 pub use event::{
@@ -36,4 +37,7 @@ pub use inspect::{summarize, summarize_file, InspectSummary};
 pub use ledger::{AirtimeLedger, AuditReport, AUDIT_TOLERANCE_NS, CELL};
 pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry};
 pub use observer::{JsonlObserver, MemoryObserver, NullObserver, Observer, TeeObserver};
+pub use prof::{
+    render_perf_report, AllocStats, ChromeTrace, ChromeTraceObserver, CountingAlloc, PhaseProfiler,
+};
 pub use spans::{SpanCollector, StationDelays};

@@ -43,7 +43,7 @@ pub mod stats;
 pub mod time;
 pub mod wheel;
 
-pub use profile::LoopProfiler;
+pub use profile::{LoopProfiler, NsHist};
 pub use queue::{AnyQueue, EventQueue, QueueBackend, Timeline};
 pub use rng::SimRng;
 pub use stats::{Histogram, RateMeter, RunningStats, TimeWeighted};

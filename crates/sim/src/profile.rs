@@ -10,15 +10,159 @@
 
 use std::time::{Duration, Instant};
 
+/// Number of log2 buckets in an [`NsHist`]. Bucket `i` covers
+/// durations whose nanosecond count has `i` significant bits, i.e.
+/// `[2^(i-1), 2^i)` ns for `i >= 1` and exactly `0` ns for `i == 0`.
+/// 48 buckets cover everything up to ~78 hours — far beyond any
+/// single event dispatch.
+pub const NS_HIST_BUCKETS: usize = 48;
+
+/// A fixed-footprint log2-bucketed histogram of nanosecond durations.
+///
+/// Recording is O(1) and allocation-free (one `leading_zeros` plus an
+/// array increment), which keeps it cheap enough to sit on the event
+/// loop's per-dispatch hot path. Quantiles are resolved to the upper
+/// edge of the owning bucket (clamped to the observed min/max), the
+/// same upper-edge convention as [`crate::stats::Histogram`] — so a
+/// reported p99 is an upper bound at log2 resolution, never an
+/// underestimate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NsHist {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; NS_HIST_BUCKETS],
+}
+
+impl Default for NsHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NsHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        NsHist {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; NS_HIST_BUCKETS],
+        }
+    }
+
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        // Significant bits of `ns`: 0 ns lands in bucket 0, 1 ns in
+        // bucket 1, 2-3 ns in bucket 2, and so on.
+        ((64 - ns.leading_zeros()) as usize).min(NS_HIST_BUCKETS - 1)
+    }
+
+    /// Upper edge (inclusive) of bucket `i`, in nanoseconds.
+    #[inline]
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i).saturating_sub(1).max(1u64 << (i - 1))
+        }
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one duration given directly in nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[Self::bucket_of(ns)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &NsHist) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Smallest recorded duration in nanoseconds, or `None` if empty.
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest recorded duration in nanoseconds, or `None` if empty.
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Mean recorded duration in nanoseconds, or `None` if empty.
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_ns as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: the upper edge of
+    /// the bucket holding the q-th recorded value, clamped to the
+    /// observed `[min, max]`. `None` if empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(Self::bucket_upper(i).clamp(self.min_ns, self.max_ns));
+            }
+        }
+        Some(self.max_ns)
+    }
+}
+
+/// Per-label accumulator. The histogram is boxed so the array the hot
+/// path scans stays compact (one slot spans well under a cache line);
+/// `hist` doubles as the "was this label ever timed?" marker.
+#[derive(Clone, Debug)]
+struct Slot {
+    label: &'static str,
+    count: u64,
+    time_ns: u64,
+    hist: Option<Box<NsHist>>,
+}
+
 /// Accumulates per-event-type counts and wall-clock laps for one run.
 #[derive(Clone, Debug)]
 pub struct LoopProfiler {
     started: Instant,
     lap_start: Instant,
     // Static labels keep counting allocation-free; the event loop has a
-    // small closed set of event types, so a linear scan beats a map.
-    counts: Vec<(&'static str, u64)>,
-    times: Vec<(&'static str, Duration)>,
+    // small closed set of event types, so a single linear scan over
+    // compact slots beats a map.
+    slots: Vec<Slot>,
     laps: Vec<Duration>,
 }
 
@@ -35,36 +179,42 @@ impl LoopProfiler {
         LoopProfiler {
             started: now,
             lap_start: now,
-            counts: Vec::new(),
-            times: Vec::new(),
+            slots: Vec::new(),
             laps: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn slot(&mut self, label: &'static str) -> &mut Slot {
+        match self.slots.iter().position(|s| s.label == label) {
+            Some(i) => &mut self.slots[i],
+            None => {
+                self.slots.push(Slot {
+                    label,
+                    count: 0,
+                    time_ns: 0,
+                    hist: None,
+                });
+                self.slots.last_mut().expect("just pushed")
+            }
         }
     }
 
     /// Counts one dispatched event under `label`.
     #[inline]
     pub fn count(&mut self, label: &'static str) {
-        for slot in &mut self.counts {
-            if slot.0 == label {
-                slot.1 += 1;
-                return;
-            }
-        }
-        self.counts.push((label, 1));
+        self.slot(label).count += 1;
     }
 
     /// Counts one dispatched event under `label` and attributes `cost`
     /// of host wall-clock time to it.
     #[inline]
     pub fn count_timed(&mut self, label: &'static str, cost: Duration) {
-        self.count(label);
-        for slot in &mut self.times {
-            if slot.0 == label {
-                slot.1 += cost;
-                return;
-            }
-        }
-        self.times.push((label, cost));
+        let ns = cost.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let slot = self.slot(label);
+        slot.count += 1;
+        slot.time_ns = slot.time_ns.saturating_add(ns);
+        slot.hist.get_or_insert_with(Box::default).record_ns(ns);
     }
 
     /// Ends the current lap (one simulated second) and starts the next.
@@ -75,19 +225,32 @@ impl LoopProfiler {
     }
 
     /// Per-label event counts, in first-seen order.
-    pub fn counts(&self) -> &[(&'static str, u64)] {
-        &self.counts
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        self.slots.iter().map(|s| (s.label, s.count)).collect()
     }
 
     /// Cumulative per-label dispatch wall-time, in first-seen order.
     /// Only labels counted via [`LoopProfiler::count_timed`] appear.
-    pub fn times(&self) -> &[(&'static str, Duration)] {
-        &self.times
+    pub fn times(&self) -> Vec<(&'static str, Duration)> {
+        self.slots
+            .iter()
+            .filter(|s| s.hist.is_some())
+            .map(|s| (s.label, Duration::from_nanos(s.time_ns)))
+            .collect()
+    }
+
+    /// Per-label dispatch-time distributions, in first-seen order.
+    /// Only labels counted via [`LoopProfiler::count_timed`] appear.
+    pub fn dists(&self) -> Vec<(&'static str, NsHist)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.hist.as_ref().map(|h| (s.label, (**h).clone())))
+            .collect()
     }
 
     /// Total events counted.
     pub fn total_events(&self) -> u64 {
-        self.counts.iter().map(|(_, n)| n).sum()
+        self.slots.iter().map(|s| s.count).sum()
     }
 
     /// Wall-clock duration of each completed lap.
@@ -139,6 +302,73 @@ mod tests {
                 ("tick", Duration::from_micros(1))
             ]
         );
+    }
+
+    #[test]
+    fn ns_hist_tracks_extremes_and_quantiles() {
+        let mut h = NsHist::new();
+        assert_eq!(h.quantile_ns(0.5), None);
+        assert_eq!(h.min_ns(), None);
+        for us in [1u64, 2, 3, 4, 100] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_ns(), Some(1_000));
+        assert_eq!(h.max_ns(), Some(100_000));
+        assert_eq!(h.total_ns(), 110_000);
+        // p50 lands in the bucket holding 2 µs; the upper-edge answer
+        // must bound it from above without exceeding the observed max.
+        let p50 = h.quantile_ns(0.5).unwrap();
+        assert!((2_000..=4_095).contains(&p50), "p50 = {p50}");
+        // p99 of five samples is the largest one; clamped to max.
+        assert_eq!(h.quantile_ns(0.99), Some(100_000));
+        // q=0 resolves to the first bucket's upper edge: >= the true
+        // minimum, < the next recorded value.
+        let p0 = h.quantile_ns(0.0).unwrap();
+        assert!((1_000..2_000).contains(&p0), "p0 = {p0}");
+        assert_eq!(h.quantile_ns(1.0), Some(100_000));
+    }
+
+    #[test]
+    fn ns_hist_merge_matches_combined_stream() {
+        let mut a = NsHist::new();
+        let mut b = NsHist::new();
+        let mut both = NsHist::new();
+        for ns in [10u64, 500, 90_000] {
+            a.record(Duration::from_nanos(ns));
+            both.record(Duration::from_nanos(ns));
+        }
+        for ns in [3u64, 7_000_000] {
+            b.record(Duration::from_nanos(ns));
+            both.record(Duration::from_nanos(ns));
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn ns_hist_zero_and_huge_durations_stay_in_range() {
+        let mut h = NsHist::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.quantile_ns(0.01), Some(0));
+        assert_eq!(h.quantile_ns(1.0), h.max_ns());
+    }
+
+    #[test]
+    fn count_timed_populates_distributions() {
+        let mut p = LoopProfiler::new();
+        p.count_timed("tx_end", Duration::from_micros(5));
+        p.count_timed("tx_end", Duration::from_micros(7));
+        p.count_timed("tick", Duration::from_micros(1));
+        let dists = p.dists();
+        assert_eq!(dists.len(), 2);
+        assert_eq!(dists[0].0, "tx_end");
+        assert_eq!(dists[0].1.count(), 2);
+        assert_eq!(dists[0].1.total_ns(), 12_000);
+        assert_eq!(dists[1].0, "tick");
+        assert_eq!(dists[1].1.max_ns(), Some(1_000));
     }
 
     #[test]

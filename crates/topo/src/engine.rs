@@ -24,12 +24,75 @@
 //!   fresh scheduler registration and fresh transport incarnations at
 //!   the new AP.
 
-use airtime_obs::Observer;
-use airtime_sim::{SimDuration, SimTime};
+use std::time::Instant;
+
+use airtime_obs::{Observer, PhaseProfiler};
+use airtime_sim::{NsHist, SimDuration, SimTime};
 use airtime_wlan::{CellSim, NetworkConfig};
 
 use crate::config::{AssocDecision, TopologyConfig};
 use crate::report::{HandoffRecord, RoamingReport, TopoReport, Visit};
+
+/// Host-side stats for one cell's lane of a profiled topology run.
+#[derive(Clone, Debug)]
+pub struct CellLaneProfile {
+    /// Events this cell dispatched.
+    pub events: u64,
+    /// Host cost of this cell's dispatches.
+    pub dispatch: NsHist,
+    /// Deepest this cell's event queue ever got.
+    pub queue_high_water: u64,
+}
+
+/// The host-side profile of one topology run: where the driver's wall
+/// time went, per event label and per cell lane. Purely observational
+/// — the paired [`TopoReport`] is byte-identical to an unprofiled
+/// run's.
+#[derive(Clone, Debug)]
+pub struct TopoProfile {
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Total events dispatched across all cells.
+    pub events: u64,
+    /// Dispatch-cost distributions per event label, all cells merged.
+    pub labels: Vec<(&'static str, NsHist)>,
+    /// Driver phases (`drain`, `drain/mirror`, `management`) as
+    /// hierarchical paths.
+    pub phases: Vec<(String, NsHist)>,
+    /// Per-cell lane stats, index-aligned with the topology's cells.
+    pub cells: Vec<CellLaneProfile>,
+}
+
+/// Host-side measurement state threaded through a profiled run.
+struct TopoProbe {
+    started: Instant,
+    phases: PhaseProfiler,
+    labels: Vec<(&'static str, NsHist)>,
+    per_cell: Vec<NsHist>,
+}
+
+impl TopoProbe {
+    fn new(n_cells: usize) -> Self {
+        TopoProbe {
+            started: Instant::now(),
+            phases: PhaseProfiler::new(true),
+            labels: Vec::new(),
+            per_cell: vec![NsHist::new(); n_cells],
+        }
+    }
+
+    fn record(&mut self, cell: usize, label: &'static str, cost: std::time::Duration) {
+        self.per_cell[cell].record(cost);
+        match self.labels.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, h)) => h.record(cost),
+            None => {
+                let mut h = NsHist::new();
+                h.record(cost);
+                self.labels.push((label, h));
+            }
+        }
+    }
+}
 
 /// Runs a topology with one observer per cell (index-aligned).
 /// Observers see each cell's own event stream — per-cell airtime
@@ -40,6 +103,49 @@ use crate::report::{HandoffRecord, RoamingReport, TopoReport, Visit};
 /// Panics on invalid topologies (see [`TopologyConfig::validate`])
 /// and when `obs.len() != topo.cells.len()`.
 pub fn run_topology<O: Observer>(topo: &TopologyConfig, obs: &mut [O]) -> TopoReport {
+    run_topology_inner(topo, obs, None).0
+}
+
+/// Like [`run_topology`], but measures the driver as it runs and
+/// returns the host-side [`TopoProfile`] alongside the report.
+///
+/// # Panics
+///
+/// Same as [`run_topology`].
+pub fn run_topology_profiled<O: Observer>(
+    topo: &TopologyConfig,
+    obs: &mut [O],
+) -> (TopoReport, TopoProfile) {
+    let n_cells = topo.cells.len();
+    let mut probe = TopoProbe::new(n_cells);
+    let (report, cells) = run_topology_inner(topo, obs, Some(&mut probe));
+    let events: u64 = cells.iter().map(|(e, _)| e).sum();
+    let profile = TopoProfile {
+        wall_s: probe.started.elapsed().as_secs_f64(),
+        events,
+        labels: probe.labels,
+        phases: probe.phases.flatten(),
+        cells: cells
+            .into_iter()
+            .zip(probe.per_cell)
+            .map(|((events, queue_high_water), dispatch)| CellLaneProfile {
+                events,
+                dispatch,
+                queue_high_water,
+            })
+            .collect(),
+    };
+    (report, profile)
+}
+
+/// The shared driver. Returns the report plus each cell's
+/// `(events_processed, queue_high_water)` — read before the cells are
+/// consumed, so the profiled wrapper can build lane stats.
+fn run_topology_inner<O: Observer>(
+    topo: &TopologyConfig,
+    obs: &mut [O],
+    mut probe: Option<&mut TopoProbe>,
+) -> (TopoReport, Vec<(u64, u64)>) {
     topo.validate();
     assert_eq!(
         obs.len(),
@@ -118,6 +224,9 @@ pub fn run_topology<O: Observer>(topo: &TopologyConfig, obs: &mut [O]) -> TopoRe
         let boundary = next_tick.min(end);
         // Drain events up to the boundary, always the globally
         // earliest first.
+        if let Some(p) = probe.as_deref_mut() {
+            p.phases.enter("drain");
+        }
         loop {
             let mut best: Option<(SimTime, usize)> = None;
             for (i, cell) in cells.iter_mut().enumerate() {
@@ -128,10 +237,27 @@ pub fn run_topology<O: Observer>(topo: &TopologyConfig, obs: &mut [O]) -> TopoRe
                 }
             }
             let Some((t, i)) = best else { break };
-            cells[i].step();
+            // One branch on the unprofiled path; when profiling, time
+            // the step and bill it to the label and the cell's lane.
+            match probe.as_deref_mut() {
+                None => {
+                    cells[i].step();
+                }
+                Some(p) => {
+                    let t0 = Instant::now();
+                    let label = cells[i].step_labeled().map(|(_, l)| l);
+                    let cost = t0.elapsed();
+                    if let Some(label) = label {
+                        p.record(i, label, cost);
+                    }
+                }
+            }
             // Mirror a newly started busy window into co-channel
             // neighbours.
             if let Some(busy_end) = cells[i].busy_until() {
+                if let Some(p) = probe.as_deref_mut() {
+                    p.phases.enter("mirror");
+                }
                 for j in 0..n_cells {
                     if j != i
                         && topo.cells[j].channel == topo.cells[i].channel
@@ -141,10 +267,19 @@ pub fn run_topology<O: Observer>(topo: &TopologyConfig, obs: &mut [O]) -> TopoRe
                         cells[j].defer_all(t, busy_end);
                     }
                 }
+                if let Some(p) = probe.as_deref_mut() {
+                    p.phases.exit();
+                }
             }
+        }
+        if let Some(p) = probe.as_deref_mut() {
+            p.phases.exit();
         }
         if next_tick > end {
             break;
+        }
+        if let Some(p) = probe.as_deref_mut() {
+            p.phases.enter("management");
         }
         management_tick(
             topo,
@@ -155,6 +290,9 @@ pub fn run_topology<O: Observer>(topo: &TopologyConfig, obs: &mut [O]) -> TopoRe
             &mut bytes_at_join,
             &mut roaming,
         );
+        if let Some(p) = probe.as_deref_mut() {
+            p.phases.exit();
+        }
         next_tick += topo.assoc_tick;
     }
 
@@ -174,12 +312,19 @@ pub fn run_topology<O: Observer>(topo: &TopologyConfig, obs: &mut [O]) -> TopoRe
             });
         }
     }
+    let lane_stats: Vec<(u64, u64)> = cells
+        .iter()
+        .map(|c| (c.events_processed(), c.queue_high_water()))
+        .collect();
     let reports = cells.into_iter().map(|c| c.finish(end)).collect();
-    TopoReport {
-        cells: reports,
-        roaming,
-        end,
-    }
+    (
+        TopoReport {
+            cells: reports,
+            roaming,
+            end,
+        },
+        lane_stats,
+    )
 }
 
 /// One management-plane tick at `now`: mobility, link refresh,

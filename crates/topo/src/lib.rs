@@ -50,7 +50,7 @@ pub mod mobility;
 pub mod report;
 
 pub use config::{AssocDecision, CellSpec, Placement, RatePolicy, TopologyConfig};
-pub use engine::run_topology;
+pub use engine::{run_topology, run_topology_profiled, CellLaneProfile, TopoProfile};
 pub use geom::Point;
 pub use mobility::WaypointPath;
 pub use report::{HandoffRecord, RoamingReport, TopoReport, Visit};

@@ -290,6 +290,44 @@ pub fn run_instrumented<O: Observer>(
     obs: &mut O,
     metrics: Option<&mut MetricsRegistry>,
 ) -> Report {
+    run_with_profile(cfg, obs, metrics).0
+}
+
+/// The host-side profile of one completed run, as captured by the
+/// event loop itself. Everything in here describes the *host* (wall
+/// time, dispatch costs, queue pressure); the paired [`Report`] is
+/// byte-identical to an unprofiled run's.
+#[derive(Clone, Debug)]
+pub struct RunProfile {
+    /// Per-label counts, cumulative times, and dispatch-time
+    /// distributions, plus wall-clock laps per simulated second.
+    pub profiler: LoopProfiler,
+    /// Events dispatched by the loop.
+    pub events: u64,
+    /// Deepest the event queue ever got.
+    pub queue_high_water: u64,
+}
+
+/// Like [`run_instrumented`], but also returns the run's host-side
+/// [`RunProfile`] directly — the `profile` command's entry point.
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_profiled<O: Observer>(
+    cfg: &NetworkConfig,
+    obs: &mut O,
+    metrics: &mut MetricsRegistry,
+) -> (Report, RunProfile) {
+    let (report, profile) = run_with_profile(cfg, obs, Some(metrics));
+    (report, profile.expect("metrics registry supplied"))
+}
+
+fn run_with_profile<O: Observer>(
+    cfg: &NetworkConfig,
+    obs: &mut O,
+    metrics: Option<&mut MetricsRegistry>,
+) -> (Report, Option<RunProfile>) {
     assert!(!cfg.stations.is_empty(), "need at least one station");
     assert!(!cfg.duration.is_zero(), "duration must be positive");
     assert!(cfg.warmup < cfg.duration, "warm-up must precede the end");
@@ -336,7 +374,12 @@ pub fn run_instrumented<O: Observer>(
     sim.sched.on_tick(end);
     sim.finish_airtime(end);
     sim.finish_instr();
-    sim.report()
+    let profile = sim.instr.as_ref().map(|i| RunProfile {
+        profiler: i.profiler.clone(),
+        events: sim.queue.events_processed(),
+        queue_high_water: sim.queue.high_water() as u64,
+    });
+    (sim.report(), profile)
 }
 
 /// Static label for the profiler's per-event-type counts.
@@ -692,15 +735,33 @@ impl<'c, O: Observer> Sim<'c, O> {
         let events = self.queue.events_processed();
         let instr = self.instr.as_mut().expect("checked above");
         instr.reg.snapshot(end);
-        let counts: Vec<(&'static str, u64)> = instr.profiler.counts().to_vec();
+        let counts: Vec<(&'static str, u64)> = instr.profiler.counts();
         for (label, n) in counts {
             let id = instr.reg.counter(&format!("profile.events.{label}"));
             instr.reg.set_counter(id, n);
         }
-        let times: Vec<(&'static str, std::time::Duration)> = instr.profiler.times().to_vec();
+        let times: Vec<(&'static str, std::time::Duration)> = instr.profiler.times();
         for (label, d) in times {
             let id = instr.reg.gauge(&format!("profile.dispatch_us.{label}"));
             instr.reg.set(id, d.as_secs_f64() * 1e6);
+        }
+        // Distribution gauges ride alongside the totals above; the
+        // pre-existing names keep their exact values, so older readers
+        // see byte-identical fields.
+        let dists: Vec<(&'static str, airtime_sim::NsHist)> = instr.profiler.dists();
+        for (label, h) in dists {
+            for (stat, v) in [
+                ("p50", h.quantile_ns(0.50)),
+                ("p95", h.quantile_ns(0.95)),
+                ("p99", h.quantile_ns(0.99)),
+                ("min", h.min_ns()),
+                ("max", h.max_ns()),
+            ] {
+                let id = instr
+                    .reg
+                    .gauge(&format!("profile.dispatch_{stat}_ns.{label}"));
+                instr.reg.set(id, v.unwrap_or(0) as f64);
+            }
         }
         let wall = instr.profiler.wall_total().as_secs_f64();
         let id = instr.reg.gauge("profile.wall_s");
@@ -1789,13 +1850,31 @@ impl<'c, O: Observer> CellSim<'c, O> {
     /// Dispatches exactly one event — the earliest pending — and
     /// returns its time; `None` when the cell is drained.
     pub fn step(&mut self) -> Option<SimTime> {
+        self.step_labeled().map(|(t, _)| t)
+    }
+
+    /// Like [`CellSim::step`], but also returns the dispatched event's
+    /// profiler label, so a driver can attribute the step's host cost
+    /// per event type without peeking into the queue.
+    pub fn step_labeled(&mut self) -> Option<(SimTime, &'static str)> {
         let (t, ev) = self.sim.queue.pop()?;
+        let label = event_label(&ev);
         self.sim.now = t;
         self.sim.dispatch(ev);
         self.sim.pump_all();
         self.sim.kick_all();
         self.sim.ensure_sched_wake();
-        Some(t)
+        Some((t, label))
+    }
+
+    /// Events dispatched by this cell's loop so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.queue.events_processed()
+    }
+
+    /// Deepest this cell's event queue has ever been.
+    pub fn queue_high_water(&self) -> u64 {
+        self.sim.queue.high_water() as u64
     }
 
     /// Ends the run at `end`: brings the scheduler's periodic state up

@@ -16,13 +16,22 @@ use std::path::PathBuf;
 
 use airtime::model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
 use airtime::obs::json::{array_f64, Obj};
+use airtime::obs::prof::{alloc_stats, dist_json, set_alloc_counting, HOST_PID};
 use airtime::obs::{
-    AirtimeLedger, JsonlObserver, MetricsRegistry, NullObserver, Observer, SpanCollector,
-    TeeObserver,
+    AirtimeLedger, ChromeTrace, ChromeTraceObserver, CountingAlloc, JsonlObserver, MetricsRegistry,
+    NullObserver, Observer, SpanCollector, TeeObserver,
 };
 use airtime::phy::DataRate;
 use airtime::sim::SimDuration;
-use airtime::wlan::{run, run_instrumented, scenarios, Direction, Report, SchedulerKind};
+use airtime::topo::{run_topology, run_topology_profiled};
+use airtime::wlan::{
+    run, run_instrumented, run_profiled, scenarios, Direction, Report, SchedulerKind,
+};
+
+/// Allocation counting for `profile` (a gated relaxed-atomic load per
+/// allocation when off — see `airtime::obs::prof::CountingAlloc`).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const HELP: &str = "airtime-cli — multi-rate WLAN fairness experiments
 
@@ -31,6 +40,11 @@ USAGE:
     airtime-cli sweep <file.toml>   expand a scenario's [sweep] matrix and
                                     run it on a worker pool
     airtime-cli inspect <events>    summarize a JSONL event trace
+    airtime-cli profile <file.toml>...
+                                    time the event loop over one or more
+                                    scenarios and emit a machine-readable
+                                    perf report (plus an optional Chrome
+                                    trace)
     airtime-cli predict [OPTIONS]   analytic RF/TF predictions (Eqs 6/12)
 
 OPTIONS (run):
@@ -70,6 +84,18 @@ OPTIONS (inspect):
                         (queueing / contention / head-of-line, p50/95/99)
     --audit             replay the trace's airtime ledger and run the
                         conservation audit; non-zero exit on failure
+    --prof <report>     pretty-print a perf report written by
+                        `profile --json` (no trace path needed)
+
+OPTIONS (profile):
+    --json <path>       where to write the perf-report JSON
+                        (events/sec, per-label dispatch-time quantiles,
+                        per-cell lanes)      [default: profile.report.json]
+    --trace-out <path>  also export the run as Chrome trace-event JSON
+                        — open in chrome://tracing or ui.perfetto.dev.
+                        The trace is captured in a second untimed pass,
+                        so it never skews the timing numbers.
+Scenario [sweep] sections are ignored: profile times the base config.
 
 Scenario files are a TOML subset; see examples/scenarios/ and the
 README's \"Scenario files\" section. Malformed files exit non-zero with
@@ -126,9 +152,14 @@ struct Args {
     spans: bool,
     /// `inspect --audit`: conservation audit over the trace.
     audit: bool,
-    /// Positional argument (the trace path for `inspect`, the
-    /// scenario file for `sweep`).
-    positional: Option<String>,
+    /// `inspect --prof`: pretty-print a perf report JSON.
+    prof: Option<PathBuf>,
+    /// `profile --trace-out`: Chrome trace-event JSON destination.
+    trace_out: Option<PathBuf>,
+    /// Positional arguments (the trace path for `inspect`, the
+    /// scenario file for `sweep`, one or more scenario files for
+    /// `profile` — only `profile` accepts more than one).
+    positionals: Vec<String>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -153,7 +184,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         csv: None,
         spans: false,
         audit: false,
-        positional: None,
+        prof: None,
+        trace_out: None,
+        positionals: Vec::new(),
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or(format!("{flag} needs a value"));
@@ -195,11 +228,18 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 args.threads = Some(n);
             }
             "--csv" => args.csv = Some(PathBuf::from(value()?)),
-            // `run --json` is a bare flag; `sweep --json <path>` takes a path.
-            "--json" if cmd == "sweep" => args.json_path = Some(PathBuf::from(value()?)),
+            "--prof" => args.prof = Some(PathBuf::from(value()?)),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value()?)),
+            // `run --json` is a bare flag; `sweep --json <path>` and
+            // `profile --json <path>` take a path.
+            "--json" if cmd == "sweep" || cmd == "profile" => {
+                args.json_path = Some(PathBuf::from(value()?))
+            }
             "--json" => args.json = true,
-            other if !other.starts_with('-') && args.positional.is_none() => {
-                args.positional = Some(other.to_string());
+            other
+                if !other.starts_with('-') && (cmd == "profile" || args.positionals.is_empty()) =>
+            {
+                args.positionals.push(other.to_string());
             }
             other => return Err(format!("unknown option '{other}'; try --help")),
         }
@@ -527,8 +567,8 @@ fn report_json(cfg: &airtime::wlan::NetworkConfig, labels: &[String], r: &Report
 
 fn cmd_sweep(a: &Args) -> Result<(), String> {
     let path = a
-        .positional
-        .as_deref()
+        .positionals
+        .first()
         .ok_or("sweep needs a scenario file: airtime-cli sweep <file.toml>")?;
     let path = std::path::Path::new(path);
     let file = path.display().to_string();
@@ -631,9 +671,17 @@ fn print_sweep_table(out: &mut airtime::bench::Output, outcome: &airtime::scenar
 }
 
 fn cmd_inspect(a: &Args) -> Result<(), String> {
+    if let Some(p) = &a.prof {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+        let rendered =
+            airtime::obs::render_perf_report(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        print!("{rendered}");
+        return Ok(());
+    }
     let path = a
-        .positional
-        .as_deref()
+        .positionals
+        .first()
         .ok_or("inspect needs a trace path: airtime-cli inspect <events.jsonl>")?;
     let p = std::path::Path::new(path);
     if a.spans || a.audit {
@@ -654,6 +702,201 @@ fn cmd_inspect(a: &Args) -> Result<(), String> {
     let summary = airtime::obs::summarize_file(p).map_err(|e| format!("reading {path}: {e}"))?;
     print!("{summary}");
     Ok(())
+}
+
+/// `profile <file.toml>...` — times the event loop over each scenario
+/// (cell or multi-cell topology) with a null observer, writes the
+/// BENCH-schema perf report, and optionally exports a Chrome trace
+/// from a second, untimed pass.
+fn cmd_profile(a: &Args) -> Result<(), String> {
+    if a.positionals.is_empty() {
+        return Err(
+            "profile needs at least one scenario file: airtime-cli profile <file.toml>...".into(),
+        );
+    }
+    let mut trace = a.trace_out.as_ref().map(|_| ChromeTrace::new());
+    // Cell lanes count up from 0; synthetic dispatch-summary lanes
+    // count up from HOST_PID so they sort below the real cells.
+    let mut next_pid: u64 = 0;
+    let mut host_pid: u64 = HOST_PID;
+    let mut scenario_objs: Vec<String> = Vec::new();
+    for path in &a.positionals {
+        let p = std::path::Path::new(path);
+        let file = p.display().to_string();
+        let doc = airtime::scenario::load(p).map_err(|e| e.to_string())?;
+        let spec = airtime::scenario::compile(&doc, &file).map_err(|e| e.to_string())?;
+        let obj = match &spec.topo {
+            None => profile_cell(&spec, trace.as_mut(), &mut next_pid, &mut host_pid),
+            Some(topo) => {
+                profile_topology(&spec, topo, trace.as_mut(), &mut next_pid, &mut host_pid)
+            }
+        };
+        scenario_objs.push(obj);
+    }
+    let report = Obj::new()
+        .str("bench", "profile")
+        .raw("scenarios", &format!("[{}]", scenario_objs.join(",")))
+        .bool("pass", true)
+        .finish();
+    print!(
+        "{}",
+        airtime::obs::render_perf_report(&report).expect("report was built to schema")
+    );
+    let json_path = a
+        .json_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("profile.report.json"));
+    std::fs::write(&json_path, report + "\n")
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    println!("\nperf report written to {}", json_path.display());
+    if let (Some(path), Some(t)) = (&a.trace_out, &trace) {
+        t.write_to(path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "Chrome trace written to {} ({} events, {} dropped) — open in \
+             chrome://tracing or ui.perfetto.dev",
+            path.display(),
+            t.len(),
+            t.dropped()
+        );
+    }
+    Ok(())
+}
+
+/// Joins dist rows (`dist_json`) into the report's JSON array.
+fn dist_array<'a>(entries: impl Iterator<Item = (&'a str, &'a airtime::sim::NsHist)>) -> String {
+    let rows: Vec<String> = entries.map(|(l, h)| dist_json(l, h)).collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Times one single-cell scenario and returns its report object. The
+/// timing pass runs with a [`NullObserver`] so observation cost never
+/// lands in the numbers; the trace pass (if any) reruns the scenario
+/// with a [`ChromeTraceObserver`].
+fn profile_cell(
+    spec: &airtime::scenario::ScenarioSpec,
+    trace: Option<&mut ChromeTrace>,
+    next_pid: &mut u64,
+    host_pid: &mut u64,
+) -> String {
+    let cfg = &spec.cfg;
+    let mut reg = MetricsRegistry::new();
+    set_alloc_counting(true);
+    let before = alloc_stats();
+    let t0 = std::time::Instant::now();
+    let (_report, prof) = run_profiled(cfg, &mut NullObserver, &mut reg);
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = alloc_stats().since(before);
+    set_alloc_counting(false);
+    if let Some(sink) = trace {
+        let pid = *next_pid;
+        *next_pid += 1;
+        let mut obs = ChromeTraceObserver::for_cell(pid, &spec.name);
+        let _ = run_instrumented(cfg, &mut obs, None);
+        obs.drain_into(sink);
+        let hp = *host_pid;
+        *host_pid += 1;
+        sink.dispatch_summary(
+            hp,
+            &format!("{} · dispatch", spec.name),
+            &prof.profiler.dists(),
+        );
+    }
+    Obj::new()
+        .str("scenario", &spec.name)
+        .str("kind", "cell")
+        .f64("wall_s", wall)
+        .f64("sim_s", cfg.duration.as_secs_f64())
+        .u64("events", prof.events)
+        .f64("events_per_sec", prof.events as f64 / wall.max(1e-9))
+        .u64("queue_high_water", prof.queue_high_water)
+        .u64("allocs", allocs.allocs)
+        .u64("alloc_bytes", allocs.bytes)
+        .raw(
+            "labels",
+            &dist_array(prof.profiler.dists().iter().map(|(l, h)| (*l, h))),
+        )
+        .finish()
+}
+
+/// Times one multi-cell topology scenario and returns its report
+/// object, including per-cell lane stats and driver phases.
+fn profile_topology(
+    spec: &airtime::scenario::ScenarioSpec,
+    topo: &airtime::topo::TopologyConfig,
+    trace: Option<&mut ChromeTrace>,
+    next_pid: &mut u64,
+    host_pid: &mut u64,
+) -> String {
+    let n = topo.cells.len();
+    let mut null_obs: Vec<NullObserver> = (0..n).map(|_| NullObserver).collect();
+    set_alloc_counting(true);
+    let before = alloc_stats();
+    let (_report, tp) = run_topology_profiled(topo, &mut null_obs);
+    let allocs = alloc_stats().since(before);
+    set_alloc_counting(false);
+    if let Some(sink) = trace {
+        let mut obs: Vec<ChromeTraceObserver> = (0..n)
+            .map(|i| {
+                ChromeTraceObserver::for_cell(
+                    *next_pid + i as u64,
+                    &format!("{} · cell {i}", spec.name),
+                )
+            })
+            .collect();
+        *next_pid += n as u64;
+        let _ = run_topology(topo, &mut obs);
+        for o in obs {
+            o.drain_into(sink);
+        }
+        let hp = *host_pid;
+        *host_pid += 1;
+        sink.dispatch_summary(hp, &format!("{} · dispatch", spec.name), &tp.labels);
+    }
+    let cells: Vec<String> = tp
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            Obj::new()
+                .u64("cell", i as u64)
+                .u64("events", c.events)
+                .u64("queue_high_water", c.queue_high_water)
+                .f64("total_us", c.dispatch.total_ns() as f64 / 1000.0)
+                .u64("p50_ns", c.dispatch.quantile_ns(0.50).unwrap_or(0))
+                .u64("p95_ns", c.dispatch.quantile_ns(0.95).unwrap_or(0))
+                .u64("p99_ns", c.dispatch.quantile_ns(0.99).unwrap_or(0))
+                .u64("max_ns", c.dispatch.max_ns().unwrap_or(0))
+                .finish()
+        })
+        .collect();
+    Obj::new()
+        .str("scenario", &spec.name)
+        .str("kind", "topology")
+        .f64("wall_s", tp.wall_s)
+        .f64("sim_s", topo.base.duration.as_secs_f64())
+        .u64("events", tp.events)
+        .f64("events_per_sec", tp.events as f64 / tp.wall_s.max(1e-9))
+        .u64(
+            "queue_high_water",
+            tp.cells
+                .iter()
+                .map(|c| c.queue_high_water)
+                .max()
+                .unwrap_or(0),
+        )
+        .u64("allocs", allocs.allocs)
+        .u64("alloc_bytes", allocs.bytes)
+        .raw(
+            "labels",
+            &dist_array(tp.labels.iter().map(|(l, h)| (*l, h))),
+        )
+        .raw(
+            "phases",
+            &dist_array(tp.phases.iter().map(|(l, h)| (l.as_str(), h))),
+        )
+        .raw("cells", &format!("[{}]", cells.join(",")))
+        .finish()
 }
 
 fn cmd_predict(a: &Args) {
@@ -706,6 +949,7 @@ fn main() {
                 "run" => cmd_run(&args),
                 "sweep" => cmd_sweep(&args),
                 "inspect" => cmd_inspect(&args),
+                "profile" => cmd_profile(&args),
                 "predict" => {
                     cmd_predict(&args);
                     Ok(())
