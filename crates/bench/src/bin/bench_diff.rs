@@ -1,22 +1,26 @@
 //! `bench-diff` — the CI regression gate over `BENCH_*.json` files.
 //!
 //! ```text
-//! bench-diff [--threshold FRAC] <baseline.json> <candidate.json>
+//! bench-diff [--threshold FRAC] [--json PATH] <baseline.json> <candidate.json>
 //! ```
 //!
 //! Compares every `events_per_sec` leaf of the candidate against the
 //! baseline (see `airtime_bench::diff` for the alignment rules) and
 //! exits non-zero when throughput regressed beyond the threshold:
 //! exit 0 = pass, 1 = regression, 2 = usage/parse/schema error.
+//! `--json` mirrors the table (per-leaf deltas + verdict) into a
+//! machine-readable document for downstream tooling.
 
 use std::process::ExitCode;
 
-use airtime_bench::diff::{compare, DiffMode};
+use airtime_bench::diff::{compare, to_json, DiffMode};
 use airtime_bench::print_table;
 
-const USAGE: &str = "usage: bench-diff [--threshold FRAC] <baseline.json> <candidate.json>\n\
+const USAGE: &str =
+    "usage: bench-diff [--threshold FRAC] [--json PATH] <baseline.json> <candidate.json>\n\
     FRAC is the tolerated fractional events/sec drop (default 0.10;\n\
-    0.25 tolerates a 25 % slowdown). Exit 0 = pass, 1 = regression,\n\
+    0.25 tolerates a 25 % slowdown). --json PATH writes the comparison\n\
+    (per-leaf deltas + verdict) as JSON. Exit 0 = pass, 1 = regression,\n\
     2 = usage/parse/schema error.";
 
 fn fail(msg: &str) -> ExitCode {
@@ -27,6 +31,7 @@ fn fail(msg: &str) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut threshold = 0.10f64;
+    let mut json_out: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -39,6 +44,12 @@ fn main() -> ExitCode {
                     Ok(f) => threshold = f,
                     Err(_) => return fail(&format!("bad threshold '{v}'")),
                 }
+            }
+            "--json" => {
+                let Some(p) = args.next() else {
+                    return fail("--json needs a path");
+                };
+                json_out = Some(p);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -87,6 +98,12 @@ fn main() -> ExitCode {
         &["path", "base ev/s", "cand ev/s", "delta", "verdict"],
         &rows,
     );
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, to_json(&cmp) + "\n") {
+            return fail(&format!("writing {path}: {e}"));
+        }
+        println!("wrote {path}");
+    }
     if cmp.regressed() {
         eprintln!(
             "bench-diff: FAIL — events/sec dropped more than {:.0} %",

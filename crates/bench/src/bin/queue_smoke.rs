@@ -11,7 +11,8 @@
 //! 2. tick coalescing cuts `sched.tick` dispatches by at least 2×;
 //! 3. the new default (timer wheel, coalesced ticks) is not slower
 //!    than the old behaviour (binary heap, dense ticks) on this cell
-//!    (10% noise allowance, best-of-3 walls).
+//!    (10% noise allowance, best-of-3 walls, reps interleaved across
+//!    combos so host drift doesn't bias one side).
 
 use std::process::exit;
 
@@ -49,35 +50,7 @@ struct ComboResult {
     conserved: bool,
 }
 
-fn run_combo(name: &'static str, backend: QueueBackend, coalesce: bool) -> ComboResult {
-    let mut cfg = cell();
-    cfg.queue_backend = backend;
-    cfg.coalesce_ticks = coalesce;
-
-    let mut wall_s = f64::INFINITY;
-    let mut events = 0;
-    let mut sched_ticks = 0;
-    let mut tick_dispatch_us = 0.0;
-    let mut report = String::new();
-    for _ in 0..REPS {
-        let mut reg = MetricsRegistry::new();
-        let r = run_instrumented(&cfg, &mut NullObserver, Some(&mut reg));
-        let wall = reg.gauge_value("profile.wall_s").expect("profile.wall_s");
-        if wall < wall_s {
-            wall_s = wall;
-            tick_dispatch_us = reg
-                .gauge_value("profile.dispatch_us.sched.tick")
-                .unwrap_or(0.0);
-        }
-        events = reg.counter_value("sim.events").expect("sim.events");
-        sched_ticks = reg.counter_value("profile.events.sched.tick").unwrap_or(0);
-        report = format!("{r:?}");
-    }
-
-    let mut ledger = AirtimeLedger::new();
-    let _ = run_observed(&cfg, &mut ledger);
-    let conserved = ledger.audit().conserved;
-
+fn new_combo(name: &'static str, backend: QueueBackend, coalesce: bool) -> ComboResult {
     ComboResult {
         name,
         backend: match backend {
@@ -85,13 +58,47 @@ fn run_combo(name: &'static str, backend: QueueBackend, coalesce: bool) -> Combo
             QueueBackend::Wheel => "wheel",
         },
         coalesce,
-        wall_s,
-        events,
-        sched_ticks,
-        tick_dispatch_us,
-        report,
-        conserved,
+        wall_s: f64::INFINITY,
+        events: 0,
+        sched_ticks: 0,
+        tick_dispatch_us: 0.0,
+        report: String::new(),
+        conserved: false,
     }
+}
+
+fn combo_cfg(c: &ComboResult) -> NetworkConfig {
+    let mut cfg = cell();
+    cfg.queue_backend = match c.backend {
+        "heap" => QueueBackend::Heap,
+        _ => QueueBackend::Wheel,
+    };
+    cfg.coalesce_ticks = c.coalesce;
+    cfg
+}
+
+/// One timed rep of a combo, folded into its best-of-REPS state.
+fn measure_rep(c: &mut ComboResult) {
+    let cfg = combo_cfg(c);
+    let mut reg = MetricsRegistry::new();
+    let r = run_instrumented(&cfg, &mut NullObserver, Some(&mut reg));
+    let wall = reg.gauge_value("profile.wall_s").expect("profile.wall_s");
+    if wall < c.wall_s {
+        c.wall_s = wall;
+        c.tick_dispatch_us = reg
+            .gauge_value("profile.dispatch_us.sched.tick")
+            .unwrap_or(0.0);
+    }
+    c.events = reg.counter_value("sim.events").expect("sim.events");
+    c.sched_ticks = reg.counter_value("profile.events.sched.tick").unwrap_or(0);
+    c.report = format!("{r:?}");
+}
+
+fn audit_combo(c: &mut ComboResult) {
+    let cfg = combo_cfg(c);
+    let mut ledger = AirtimeLedger::new();
+    let _ = run_observed(&cfg, &mut ledger);
+    c.conserved = ledger.audit().conserved;
 }
 
 fn main() {
@@ -114,12 +121,26 @@ fn main() {
     }
 
     println!("Event-queue smoke: fig9-class TBR cell (11/5.5/2/1M downlink TCP, 20 s)\n");
-    let combos = [
-        run_combo("heap/dense", QueueBackend::Heap, false),
-        run_combo("heap/coalesced", QueueBackend::Heap, true),
-        run_combo("wheel/dense", QueueBackend::Wheel, false),
-        run_combo("wheel/coalesced", QueueBackend::Wheel, true),
+    let mut combos = [
+        new_combo("heap/dense", QueueBackend::Heap, false),
+        new_combo("heap/coalesced", QueueBackend::Heap, true),
+        new_combo("wheel/dense", QueueBackend::Wheel, false),
+        new_combo("wheel/coalesced", QueueBackend::Wheel, true),
     ];
+    // Interleave reps across combos (A/B/A/B rather than A/A/B/B) so
+    // slow drift in the host — thermal throttling, a noisy neighbour
+    // spinning up mid-run — lands on every combo roughly equally
+    // instead of biasing whichever combo ran last. Best-of-REPS per
+    // combo is unchanged.
+    for _rep in 0..REPS {
+        for c in combos.iter_mut() {
+            measure_rep(c);
+        }
+    }
+    for c in combos.iter_mut() {
+        audit_combo(c);
+    }
+    let combos = combos;
 
     let rows: Vec<Vec<String>> = combos
         .iter()

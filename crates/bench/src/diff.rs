@@ -21,7 +21,7 @@
 //!   headline number — each document's *best* events/sec — is
 //!   compared. This is how `BENCH_pr4.json` gates a `profile` report.
 
-use airtime_obs::json::{self, Json};
+use airtime_obs::json::{self, Json, Obj};
 
 /// How two documents were compared.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +63,39 @@ impl Comparison {
     pub fn regressed(&self) -> bool {
         self.rows.iter().any(|r| r.regressed)
     }
+}
+
+/// Renders a comparison as the machine-readable mirror of the
+/// `bench-diff` table: one row object per compared leaf plus the
+/// overall verdict, so CI tooling can consume deltas without scraping
+/// the human output.
+pub fn to_json(cmp: &Comparison) -> String {
+    let rows: Vec<String> = cmp
+        .rows
+        .iter()
+        .map(|r| {
+            Obj::new()
+                .str("path", &r.path)
+                .f64("base", r.base)
+                .f64("cand", r.cand)
+                .f64("delta", r.delta)
+                .bool("regressed", r.regressed)
+                .finish()
+        })
+        .collect();
+    Obj::new()
+        .str("bench", "bench_diff")
+        .str(
+            "mode",
+            match cmp.mode {
+                DiffMode::Aligned => "aligned",
+                DiffMode::Headline => "headline",
+            },
+        )
+        .f64("threshold", cmp.threshold)
+        .raw("rows", &format!("[{}]", rows.join(",")))
+        .bool("pass", !cmp.regressed())
+        .finish()
 }
 
 /// Keys that identify an array element for path alignment, tried in
@@ -271,6 +304,56 @@ mod tests {
             .contains("baseline has no events_per_sec"));
         assert!(compare("not json", &base, 0.25).is_err());
         assert!(compare(&base, &base, 1.5).is_err());
+    }
+
+    #[test]
+    fn to_json_mirrors_rows_and_verdict() {
+        let base = doc(
+            "queue_smoke",
+            &[("heap", 3_000_000.0), ("wheel", 2_000_000.0)],
+        );
+        let cand = doc(
+            "queue_smoke",
+            &[("heap", 3_000_000.0), ("wheel", 1_000_000.0)],
+        );
+        let cmp = compare(&base, &cand, 0.25).unwrap();
+        let text = to_json(&cmp);
+        let parsed = json::parse(&text).expect("to_json output must reparse");
+        assert_eq!(
+            parsed.get("bench").and_then(Json::as_str),
+            Some("bench_diff")
+        );
+        assert_eq!(parsed.get("mode").and_then(Json::as_str), Some("aligned"));
+        assert_eq!(parsed.get("threshold").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(parsed.get("pass"), Some(&Json::Bool(false)));
+        let Some(Json::Arr(rows)) = parsed.get("rows") else {
+            panic!("rows must be an array: {text}");
+        };
+        assert_eq!(rows.len(), 2);
+        let wheel = rows
+            .iter()
+            .find(|r| r.get("path").and_then(Json::as_str) == Some("combos[wheel]"))
+            .unwrap();
+        assert_eq!(wheel.get("base").and_then(Json::as_f64), Some(2_000_000.0));
+        assert_eq!(wheel.get("cand").and_then(Json::as_f64), Some(1_000_000.0));
+        assert_eq!(wheel.get("delta").and_then(Json::as_f64), Some(-0.5));
+        assert_eq!(wheel.get("regressed"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn to_json_headline_mode_passes_through() {
+        let base = doc("queue_smoke", &[("heap", 3_000_000.0)]);
+        let cand =
+            r#"{"bench":"profile","scenarios":[{"scenario":"fig9","events_per_sec":2900000.0}]}"#;
+        let cmp = compare(&base, cand, 0.25).unwrap();
+        let text = to_json(&cmp);
+        let parsed = json::parse(&text).unwrap();
+        assert_eq!(parsed.get("mode").and_then(Json::as_str), Some("headline"));
+        assert_eq!(parsed.get("pass"), Some(&Json::Bool(true)));
+        let Some(Json::Arr(rows)) = parsed.get("rows") else {
+            panic!("rows must be an array: {text}");
+        };
+        assert_eq!(rows.len(), 1);
     }
 
     #[test]

@@ -40,17 +40,25 @@ impl RateLimiter {
         self.rate_bytes_per_sec * 8.0
     }
 
-    fn refill(&mut self, now: SimTime) {
+    /// Tokens on hand at `now`, as a pure function of the state at the
+    /// last successful consumption. Failed polls must not mutate the
+    /// bucket: callers poll after every simulator dispatch, and the
+    /// dispatch cadence differs across tick modes, so accumulating
+    /// `dt * rate` in per-poll increments would partition the float
+    /// sum differently per mode — rounding drift that eventually moves
+    /// a `ready_at` by a nanosecond and breaks cross-mode determinism
+    /// (caught by `verify-determinism` on the adjust-period ablation).
+    fn available(&self, now: SimTime) -> f64 {
         let dt = now.saturating_since(self.last_fill).as_secs_f64();
-        self.tokens = (self.tokens + dt * self.rate_bytes_per_sec).min(self.burst_bytes);
-        self.last_fill = self.last_fill.max(now);
+        (self.tokens + dt * self.rate_bytes_per_sec).min(self.burst_bytes)
     }
 
     /// Consumes `bytes` if available; returns whether it succeeded.
     pub fn try_consume(&mut self, now: SimTime, bytes: u64) -> bool {
-        self.refill(now);
-        if self.tokens >= bytes as f64 {
-            self.tokens -= bytes as f64;
+        let available = self.available(now);
+        if available >= bytes as f64 {
+            self.tokens = available - bytes as f64;
+            self.last_fill = self.last_fill.max(now);
             true
         } else {
             false
@@ -60,9 +68,7 @@ impl RateLimiter {
     /// Earliest time at which `bytes` tokens will be available, assuming
     /// no consumption in between. Returns `now` if already available.
     pub fn ready_at(&self, now: SimTime, bytes: u64) -> SimTime {
-        let dt = now.saturating_since(self.last_fill).as_secs_f64();
-        let available = (self.tokens + dt * self.rate_bytes_per_sec).min(self.burst_bytes);
-        let deficit = bytes as f64 - available;
+        let deficit = bytes as f64 - self.available(now);
         if deficit <= 0.0 {
             now
         } else {
@@ -135,6 +141,33 @@ mod tests {
         }
         let mbps = sent as f64 * 8.0 / 10.0 / 1e6;
         assert!((mbps - 2.1).abs() < 0.01, "mbps={mbps}");
+    }
+
+    #[test]
+    fn failed_polls_leave_the_bucket_bit_identical() {
+        // Two buckets, same consumption schedule; one is additionally
+        // polled (and refused) at many awkward intermediate times, the
+        // way dense tick mode polls after every dispatch. The extra
+        // polls must not perturb the float state — otherwise the two
+        // tick modes drift apart by a nanosecond over a long run.
+        let mut quiet = RateLimiter::new(2_100_000.0, 3000);
+        let mut noisy = RateLimiter::new(2_100_000.0, 3000);
+        let mut now = SimTime::ZERO;
+        for step in 1..500u64 {
+            now += SimDuration::from_nanos(5_714_285 + step % 7);
+            for poll in 1..4u64 {
+                let mid = now + SimDuration::from_nanos(poll * 997);
+                assert!(!noisy.try_consume(mid, 3001)); // always refused
+            }
+            let a = quiet.try_consume(now, 1500);
+            let b = noisy.try_consume(now, 1500);
+            assert_eq!(a, b, "step {step}");
+            assert_eq!(
+                quiet.ready_at(now, 1500),
+                noisy.ready_at(now, 1500),
+                "step {step}"
+            );
+        }
     }
 
     #[test]

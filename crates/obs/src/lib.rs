@@ -28,6 +28,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod observer;
 pub mod prof;
+pub mod recorder;
 pub mod spans;
 
 pub use event::{
@@ -39,5 +40,9 @@ pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry};
 pub use observer::{JsonlObserver, MemoryObserver, NullObserver, Observer, TeeObserver};
 pub use prof::{
     render_perf_report, AllocStats, ChromeTrace, ChromeTraceObserver, CountingAlloc, PhaseProfiler,
+};
+pub use recorder::{
+    first_divergent_checkpoint, first_divergent_event, fp_hex, Checkpoint, FlightRecorder,
+    RecordedEvent, Recording, DEFAULT_CHECKPOINT_INTERVAL,
 };
 pub use spans::{SpanCollector, StationDelays};

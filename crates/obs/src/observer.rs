@@ -11,6 +11,8 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
+use airtime_sim::SimTime;
+
 use crate::event::EventRecord;
 
 /// Receives structured events from the simulator.
@@ -69,6 +71,21 @@ pub trait Observer {
 
     /// A run boundary passed ([`EventRecord::RunMark`]).
     fn on_run_mark(&mut self, _rec: EventRecord) {}
+
+    /// The event loop dispatched the event stamped `(t, seq)` whose
+    /// handler is named `label`. This is the flight recorder's spine:
+    /// the `(time, seq)` pair is the queue's total order, so a stream
+    /// of these uniquely identifies an execution. Deliberately *not* an
+    /// [`EventRecord`] — no allocation, no wire format, just three
+    /// words — so the emission site stays cheap even when a recorder
+    /// is attached.
+    fn on_dispatch(&mut self, _t: SimTime, _seq: u64, _label: &'static str) {}
+
+    /// A station changed cell association: `from`/`to` are cell ids
+    /// (`None` = unassociated). Emitted by the topology engine on
+    /// every handoff or drop so per-cell fingerprints capture roaming
+    /// causality.
+    fn on_handoff(&mut self, _t: SimTime, _station: u64, _from: Option<u64>, _to: Option<u64>) {}
 
     /// Flushes any buffered output. Called once when the run ends.
     fn finish(&mut self) -> io::Result<()> {
@@ -305,6 +322,16 @@ impl<A: Observer, B: Observer> Observer for TeeObserver<A, B> {
         on_frame_span,
         on_run_mark
     );
+
+    fn on_dispatch(&mut self, t: SimTime, seq: u64, label: &'static str) {
+        self.a.on_dispatch(t, seq, label);
+        self.b.on_dispatch(t, seq, label);
+    }
+
+    fn on_handoff(&mut self, t: SimTime, station: u64, from: Option<u64>, to: Option<u64>) {
+        self.a.on_handoff(t, station, from, to);
+        self.b.on_handoff(t, station, from, to);
+    }
 
     fn finish(&mut self) -> io::Result<()> {
         let ra = self.a.finish();

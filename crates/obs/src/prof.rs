@@ -902,6 +902,30 @@ mod tests {
     }
 
     #[test]
+    fn cap_boundary_is_exact() {
+        // Exactly `cap` events fit with zero drops; the very next push
+        // is the first drop. This is the boundary `profile --trace-cap`
+        // exposes, so it must not be off by one in either direction.
+        let cap = 7;
+        let mut t = ChromeTrace::with_cap(cap);
+        for i in 0..cap {
+            t.instant(0, 0, "c", "n", i as u64);
+        }
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.dropped(), 0);
+        t.instant(0, 0, "c", "n", cap as u64);
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.dropped(), 1);
+        // A zero cap clamps to one retained event rather than an
+        // unrenderable empty buffer.
+        let mut z = ChromeTrace::with_cap(0);
+        z.instant(0, 0, "c", "n", 1);
+        z.instant(0, 0, "c", "n", 2);
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.dropped(), 1);
+    }
+
+    #[test]
     fn observer_maps_records_onto_lanes() {
         let mut o = ChromeTraceObserver::new("test cell");
         assert!(o.active());

@@ -71,6 +71,13 @@ pub struct Cell {
     pub jain_airtime: f64,
     /// Baseline-property verdict.
     pub check: CheckOutcome,
+    /// Flight-recorder determinism fingerprint (16 hex digits) over
+    /// the job's canonical causal stream; topology jobs fold their
+    /// per-radio-cell lane fingerprints in cell order. `None` for
+    /// cells aggregated without a recorder attached — the emitters
+    /// skip the column entirely then, keeping older output
+    /// byte-identical.
+    pub fp: Option<String>,
     /// Roaming metrics, for topology jobs only (`None` keeps
     /// single-cell output byte-identical to before topologies existed).
     pub roam: Option<RoamSummary>,
@@ -193,6 +200,7 @@ pub fn aggregate(
         jain_throughput: jain_index(&goodputs),
         jain_airtime: jain_index(&shares),
         check: evaluate_check(spec, report),
+        fp: None,
         stations,
         roam: None,
     }
@@ -274,6 +282,7 @@ pub fn aggregate_topology(
         jain_throughput: jain_index(&goodputs),
         jain_airtime: jain_index(&shares),
         check: CheckOutcome::Skipped,
+        fp: None,
         stations,
         roam: Some(roam),
     }

@@ -83,6 +83,9 @@ pub fn to_json(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
         if let CheckOutcome::Fail(reason) = &c.check {
             o.str("check_reason", reason);
         }
+        if let Some(fp) = &c.fp {
+            o.str("fp", fp);
+        }
         if let Some(roam) = &c.roam {
             let mut r = Obj::new();
             r.u64("handoffs", roam.handoffs)
@@ -115,13 +118,16 @@ pub fn to_json(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
 /// Topology sweeps grow roaming columns (`handoffs`, `drops`,
 /// `outage_s`, `audit`, `cell<j>_mbps`) after the aggregates; scenarios
 /// without `[[cells]]` never emit them, so pre-topology output stays
-/// byte-identical.
+/// byte-identical. Cells aggregated with a flight recorder attached
+/// (all of `run_sweep`'s) likewise grow an `fp` determinism-fingerprint
+/// column after `check`.
 pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
     let max_stations = cells.iter().map(|c| c.stations.len()).max().unwrap_or(0);
     let max_radio_cells = cells
         .iter()
         .filter_map(|c| c.roam.as_ref().map(|r| r.cell_mbps.len()))
         .max();
+    let has_fp = cells.iter().any(|c| c.fp.is_some());
     let mut columns: Vec<String> = vec!["job".into()];
     columns.extend(axes.iter().map(|a| a.name.clone()));
     columns.extend(
@@ -134,6 +140,9 @@ pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
         ]
         .map(String::from),
     );
+    if has_fp {
+        columns.push("fp".into());
+    }
     if let Some(n) = max_radio_cells {
         columns.extend(["handoffs", "drops", "outage_s", "audit"].map(String::from));
         for j in 0..n {
@@ -157,6 +166,9 @@ pub fn to_csv(scenario: &str, axes: &[Axis], cells: &[Cell]) -> String {
         cells_row.push(num(c.jain_throughput));
         cells_row.push(num(c.jain_airtime));
         cells_row.push(c.check.label().to_string());
+        if has_fp {
+            cells_row.push(c.fp.clone().unwrap_or_default());
+        }
         if let Some(n) = max_radio_cells {
             match &c.roam {
                 Some(r) => {
@@ -240,6 +252,7 @@ mod tests {
             } else {
                 CheckOutcome::Pass
             },
+            fp: None,
             roam: None,
         };
         (axes, vec![cell(0, "fifo", 1.34), cell(1, "tbr", 2.25)])
@@ -293,6 +306,30 @@ mod tests {
         assert!(json.contains(
             r#""roam":{"handoffs":2,"drops":1,"outage_s":0.5,"audit":"pass","worst_audit_error_ns":12,"cell_mbps":[3.25,1.5]}"#
         ), "{json}");
+    }
+
+    #[test]
+    fn fp_column_appears_only_when_recorded() {
+        let (axes, mut cells) = sample();
+        // No fingerprints: layout is untouched.
+        assert!(!to_csv("demo", &axes, &cells).contains(",fp,"));
+        assert!(!to_json("demo", &axes, &cells).contains("\"fp\""));
+        cells[0].fp = Some("00f0e1d2c3b4a596".into());
+        cells[1].fp = Some("123456789abcdef0".into());
+        let csv = to_csv("demo", &axes, &cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# schema: airtime-sweep:demo v1; columns: 20");
+        assert!(lines[1].contains("check,fp,rate0"), "{}", lines[1]);
+        assert!(
+            lines[2].contains("fail,00f0e1d2c3b4a596,11M"),
+            "{}",
+            lines[2]
+        );
+        let json = to_json("demo", &axes, &cells);
+        assert!(
+            json.contains(r#""check":"pass","fp":"123456789abcdef0""#),
+            "{json}"
+        );
     }
 
     #[test]

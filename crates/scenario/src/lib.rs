@@ -41,6 +41,7 @@ pub mod pool;
 pub mod spec;
 pub mod sweep;
 pub mod toml;
+pub mod verify;
 
 use std::fmt;
 use std::path::Path;
@@ -49,6 +50,7 @@ pub use aggregate::{Cell, CellStation, CheckOutcome, RoamSummary};
 pub use pool::PoolStats;
 pub use spec::{CheckProperty, CheckSpec, ScenarioSpec};
 pub use sweep::{Axis, Job};
+pub use verify::{verify_determinism, Divergence, VerifyOptions, VerifyOutcome};
 
 /// A scenario failure bound to its file — the one-line diagnostic
 /// `airtime-cli` prints before exiting non-zero.
@@ -140,6 +142,16 @@ impl SweepOutcome {
     }
 }
 
+/// Folds per-radio-cell lane fingerprints (in cell order) into the one
+/// fingerprint a topology sweep cell reports.
+pub fn combine_fps(fps: impl Iterator<Item = u64>) -> u64 {
+    // Same FNV fold the recorder itself uses, so a one-lane topology
+    // still differs from the bare lane (the fold re-mixes it).
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fps.fold(FNV_OFFSET, |acc, fp| (acc ^ fp).wrapping_mul(FNV_PRIME))
+}
+
 /// Expands and executes a parsed document on `threads` workers.
 pub fn run_sweep(
     doc: &toml::Doc,
@@ -155,41 +167,60 @@ pub fn run_sweep(
     let (cells, stats) = pool::run_parallel(&jobs, threads, |_, job| {
         // Collect frame-lifecycle spans alongside the run: observation
         // is effect-only (the RNG stream is untouched), so observed
-        // sweeps stay byte-identical to unobserved ones.
+        // sweeps stay byte-identical to unobserved ones. A capacity-0
+        // flight recorder rides along too — pure fingerprinting, no
+        // event retention — so every sweep cell carries a determinism
+        // fingerprint and the 1-vs-N-thread comparisons localize.
         match &job.spec.topo {
             None => {
-                let mut spans = airtime_obs::SpanCollector::new();
-                let report = airtime_wlan::run_observed(&job.spec.cfg, &mut spans);
-                aggregate::aggregate(
+                let mut obs = airtime_obs::TeeObserver::new(
+                    airtime_obs::SpanCollector::new(),
+                    airtime_obs::FlightRecorder::new().with_capacity(0),
+                );
+                let report = airtime_wlan::run_observed(&job.spec.cfg, &mut obs);
+                let mut cell = aggregate::aggregate(
                     job.index,
                     job.coords.clone(),
                     &job.spec,
                     &report,
-                    &spans.summary(),
-                )
+                    &obs.a.summary(),
+                );
+                cell.fp = Some(airtime_obs::fp_hex(obs.b.fingerprint()));
+                cell
             }
             Some(topo) => {
-                // One span collector and one airtime ledger per radio
-                // cell; the ledgers audit each cell's own timeline.
+                // One span collector, one airtime ledger, and one
+                // flight-recorder lane per radio cell; the ledgers
+                // audit each cell's own timeline, the recorder lanes
+                // give per-cell sub-fingerprints.
                 let mut obs: Vec<_> = (0..topo.cells.len())
-                    .map(|_| {
+                    .map(|c| {
                         airtime_obs::TeeObserver::new(
-                            airtime_obs::SpanCollector::new(),
-                            airtime_obs::AirtimeLedger::new(),
+                            airtime_obs::TeeObserver::new(
+                                airtime_obs::SpanCollector::new(),
+                                airtime_obs::AirtimeLedger::new(),
+                            ),
+                            airtime_obs::FlightRecorder::new()
+                                .with_capacity(0)
+                                .for_cell(c as u64),
                         )
                     })
                     .collect();
                 let tr = airtime_topo::run_topology(topo, &mut obs);
-                let delays: Vec<_> = obs.iter().map(|o| o.a.summary()).collect();
-                let audits: Vec<_> = obs.iter().map(|o| o.b.audit()).collect();
-                aggregate::aggregate_topology(
+                let delays: Vec<_> = obs.iter().map(|o| o.a.a.summary()).collect();
+                let audits: Vec<_> = obs.iter().map(|o| o.a.b.audit()).collect();
+                let mut cell = aggregate::aggregate_topology(
                     job.index,
                     job.coords.clone(),
                     &job.spec,
                     &tr,
                     &delays,
                     &audits,
-                )
+                );
+                cell.fp = Some(airtime_obs::fp_hex(combine_fps(
+                    obs.iter().map(|o| o.b.fingerprint()),
+                )));
+                cell
             }
         }
     });

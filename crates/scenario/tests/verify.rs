@@ -1,0 +1,119 @@
+//! End-to-end tests for the `verify-determinism` driver: the shipped
+//! presets must pass, an injected synthetic divergence must be pinned
+//! to its exact first divergent `(time, seq, label)`, and the
+//! multi-cell roaming preset's fingerprint is pinned as a golden
+//! (companion to `crates/wlan/tests/fingerprints.rs`).
+
+use airtime_scenario::verify::{verify_determinism, VerifyOptions};
+use airtime_scenario::{compile, parse_text};
+use airtime_sim::SimDuration;
+
+/// A small fast TBR cell: tick-driven (so dense and coalesced tick
+/// modes genuinely differ in drive), two rates (so the scheduler has
+/// decisions to make).
+const SMALL_TBR: &str = r#"
+name = "verify-small-tbr"
+seed = 1
+duration_s = 2
+warmup_s = 0
+direction = "down"
+
+[scheduler]
+kind = "tbr"
+
+[[station]]
+rate = "11"
+
+[[station]]
+rate = "1"
+"#;
+
+fn small_spec() -> airtime_scenario::ScenarioSpec {
+    let doc = parse_text(SMALL_TBR, "small.toml").unwrap();
+    compile(&doc, "small.toml").unwrap()
+}
+
+#[test]
+fn clean_run_passes_all_combos() {
+    let spec = small_spec();
+    let outcome = verify_determinism(&spec, None, "small.toml", &VerifyOptions::default()).unwrap();
+    assert!(
+        outcome.passed(),
+        "clean run diverged: {:?}",
+        outcome.divergences
+    );
+    assert_eq!(outcome.combos.len(), 4);
+    assert_eq!(outcome.combos[0], "heap/dense");
+    assert!(outcome.events > 0);
+    assert_eq!(outcome.fp.len(), 16);
+    assert!(!outcome.swept, "no [sweep] section, nothing to sweep");
+}
+
+#[test]
+fn injected_divergence_is_pinned_to_the_exact_event() {
+    let spec = small_spec();
+    let opts = VerifyOptions {
+        interval: 256,
+        inject: Some(("wheel/coalesced".to_string(), 1000)),
+        ..VerifyOptions::default()
+    };
+    let outcome = verify_determinism(&spec, None, "small.toml", &opts).unwrap();
+    assert!(!outcome.passed());
+    assert_eq!(outcome.divergences.len(), 1, "{:?}", outcome.divergences);
+    let d = &outcome.divergences[0];
+    assert_eq!(d.combo, "wheel/coalesced");
+    assert_eq!(d.reference, "heap/dense");
+    // Stream index 1000 sits in checkpoint ordinal 1000 / 256 = 3,
+    // covering indices [768, 1024).
+    assert_eq!(d.checkpoint, 3);
+    assert_eq!(d.window, (768, 1024));
+    // The windowed re-run pins the exact event: same stream index,
+    // same time and label on both sides, the injected tag only on the
+    // divergent side. (Raw seqs are not compared — dense tick mode
+    // consumes sequence numbers that coalesced mode doesn't, so they
+    // differ across combos even without a divergence.)
+    let expected = d.expected.as_ref().expect("reference view");
+    let actual = d.actual.as_ref().expect("divergent view");
+    assert_eq!(expected.index, 1000);
+    assert_eq!(actual.index, 1000);
+    assert_eq!(expected.t, actual.t);
+    assert_eq!(expected.label, actual.label);
+    assert!(actual.detail.ends_with("[injected]"), "{:?}", actual);
+    assert!(!expected.detail.ends_with("[injected]"));
+}
+
+#[test]
+fn roam_preset_fingerprint_matches_golden_under_every_combo() {
+    // The shipped three-cell roaming walk, shortened past the first
+    // handoff (t = 6.1 s) so the fingerprint covers Join/Drop handoff
+    // events in every lane.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scenarios/roam_three_cells.toml"
+    );
+    let text = std::fs::read_to_string(path).unwrap();
+    let doc = parse_text(&text, "roam_three_cells.toml").unwrap();
+    let mut spec = compile(&doc, "roam_three_cells.toml").unwrap();
+    spec.cfg.duration = SimDuration::from_secs(7);
+    let topo = spec.topo.as_mut().expect("roaming preset is multi-cell");
+    topo.base.duration = SimDuration::from_secs(7);
+    let outcome = verify_determinism(
+        &spec,
+        None,
+        "roam_three_cells.toml",
+        &VerifyOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        outcome.passed(),
+        "roam preset diverged: {:?}",
+        outcome.divergences
+    );
+    // Golden fingerprint for the shortened preset. To regenerate after
+    // an intentional behavioral change, copy the actual value from the
+    // failure message.
+    assert_eq!(
+        outcome.fp, "1fb009a3cc9b14e8",
+        "roam fingerprint moved — update the golden if intentional"
+    );
+}

@@ -75,6 +75,13 @@ pub trait Timeline<E> {
     }
     /// Total number of events popped since creation.
     fn events_processed(&self) -> u64;
+    /// Sequence stamp of the most recently popped event (the schedule
+    /// ordinal assigned by this queue; ties at one timestamp pop in
+    /// ascending `seq`). This is the flight recorder's hook into the
+    /// queue: the stamp is already carried by every entry, so exposing
+    /// it costs one word store per pop whether or not a recorder is
+    /// attached. Zero before the first pop.
+    fn last_seq(&self) -> u64;
     /// The largest number of events ever pending at once.
     fn high_water(&self) -> usize;
     /// Discards all pending events and resets the progress counters
@@ -161,6 +168,13 @@ impl<E> Timeline<E> for AnyQueue<E> {
         }
     }
 
+    fn last_seq(&self) -> u64 {
+        match self {
+            AnyQueue::Heap(q) => q.last_seq(),
+            AnyQueue::Wheel(q) => q.last_seq(),
+        }
+    }
+
     fn high_water(&self) -> usize {
         match self {
             AnyQueue::Heap(q) => q.high_water(),
@@ -194,6 +208,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     popped: u64,
+    last_seq: u64,
     high_water: usize,
 }
 
@@ -210,6 +225,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
+            last_seq: 0,
             high_water: 0,
         }
     }
@@ -228,8 +244,15 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {
             self.popped += 1;
+            self.last_seq = e.seq;
             (e.time, e.event)
         })
+    }
+
+    /// Sequence stamp of the most recently popped event (see
+    /// [`Timeline::last_seq`]).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -269,6 +292,7 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.popped = 0;
+        self.last_seq = 0;
         self.high_water = 0;
     }
 }
@@ -292,6 +316,10 @@ impl<E> Timeline<E> for EventQueue<E> {
 
     fn events_processed(&self) -> u64 {
         EventQueue::events_processed(self)
+    }
+
+    fn last_seq(&self) -> u64 {
+        EventQueue::last_seq(self)
     }
 
     fn high_water(&self) -> usize {

@@ -155,6 +155,7 @@ pub struct TimerWheel<E> {
     overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
     popped: u64,
+    last_seq: u64,
     len: usize,
     high_water: usize,
 }
@@ -177,6 +178,7 @@ impl<E> TimerWheel<E> {
             overflow: BinaryHeap::new(),
             next_seq: 0,
             popped: 0,
+            last_seq: 0,
             len: 0,
             high_water: 0,
         }
@@ -273,6 +275,7 @@ impl<E> TimerWheel<E> {
         }
         let e = self.cur.pop().expect("advance filled cur");
         self.popped += 1;
+        self.last_seq = e.seq;
         self.len -= 1;
         Some((e.time, e.event))
     }
@@ -301,6 +304,12 @@ impl<E> TimerWheel<E> {
         self.popped
     }
 
+    /// Sequence stamp of the most recently popped event (zero before
+    /// the first pop). See [`Timeline::last_seq`].
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
     /// The largest number of events ever pending at once.
     pub fn high_water(&self) -> usize {
         self.high_water
@@ -319,6 +328,7 @@ impl<E> TimerWheel<E> {
         self.l2.reset();
         self.overflow.clear();
         self.popped = 0;
+        self.last_seq = 0;
         self.len = 0;
         self.high_water = 0;
     }
@@ -343,6 +353,10 @@ impl<E> Timeline<E> for TimerWheel<E> {
 
     fn events_processed(&self) -> u64 {
         TimerWheel::events_processed(self)
+    }
+
+    fn last_seq(&self) -> u64 {
+        TimerWheel::last_seq(self)
     }
 
     fn high_water(&self) -> usize {

@@ -377,6 +377,14 @@ fn management_tick<O: Observer>(
                 cells[to].set_station_link(s, topo.link_at(d));
                 cells[to].set_station_rate(s, topo.rate_towards(p, to, placement.rate));
                 cells[to].associate(s, now);
+                // Both lanes see the move: the losing cell records the
+                // departure, the gaining cell the arrival, so either
+                // side's fingerprint alone localizes a roaming
+                // divergence.
+                if let Some(c) = from {
+                    cells[c].observe_handoff(now, s as u64, Some(c as u64), Some(to as u64));
+                }
+                cells[to].observe_handoff(now, s as u64, from.map(|c| c as u64), Some(to as u64));
                 roaming.handoffs.push(HandoffRecord {
                     at: now,
                     station: s,
@@ -402,6 +410,7 @@ fn management_tick<O: Observer>(
                     goodput_bytes: bytes,
                 });
                 cells[c].disassociate(s, now);
+                cells[c].observe_handoff(now, s as u64, Some(c as u64), None);
                 roaming.handoffs.push(HandoffRecord {
                     at: now,
                     station: s,

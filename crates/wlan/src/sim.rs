@@ -278,6 +278,19 @@ pub fn run_observed<O: Observer>(cfg: &NetworkConfig, obs: &mut O) -> Report {
     run_instrumented(cfg, obs, None)
 }
 
+/// Like [`run`], but folds the causal event stream into `rec`'s
+/// rolling fingerprints (see [`airtime_obs::recorder`]). Observers
+/// never touch the RNG or simulation state, so the returned report is
+/// byte-identical to [`run`]'s — pinned by a test, relied on by
+/// `verify-determinism`.
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_recorded(cfg: &NetworkConfig, rec: &mut airtime_obs::FlightRecorder) -> Report {
+    run_observed(cfg, rec)
+}
+
 /// Full instrumentation: events into `obs` and, when `metrics` is
 /// given, counters/gauges/histograms snapshotted every
 /// [`METRICS_PERIOD`] of simulated time plus event-loop profiling.
@@ -351,6 +364,9 @@ fn run_with_profile<O: Observer>(
         let (t, ev) = sim.queue.pop().expect("peeked");
         sim.now = t;
         let label = event_label(&ev);
+        if sim.obs.active() {
+            sim.obs.on_dispatch(t, sim.queue.last_seq(), label);
+        }
         let depth = sim.queue.len();
         let t0 = sim.instr.as_mut().map(|instr| {
             instr.reg.observe(instr.queue_depth, depth as f64);
@@ -1859,6 +1875,11 @@ impl<'c, O: Observer> CellSim<'c, O> {
     pub fn step_labeled(&mut self) -> Option<(SimTime, &'static str)> {
         let (t, ev) = self.sim.queue.pop()?;
         let label = event_label(&ev);
+        if self.sim.obs.active() {
+            self.sim
+                .obs
+                .on_dispatch(t, self.sim.queue.last_seq(), label);
+        }
         self.sim.now = t;
         self.sim.dispatch(ev);
         self.sim.pump_all();
@@ -1913,6 +1934,22 @@ impl<'c, O: Observer> CellSim<'c, O> {
         }
         self.associated[station] = false;
         self.sim.disassociate_station(station, now);
+    }
+
+    /// Feeds an association change into this cell's observer lane —
+    /// the topology engine calls it on every handoff/drop so flight-
+    /// recorder fingerprints capture roaming causality. Gated on
+    /// `active()`: with a `NullObserver` the call folds away.
+    pub fn observe_handoff(
+        &mut self,
+        t: SimTime,
+        station: u64,
+        from: Option<u64>,
+        to: Option<u64>,
+    ) {
+        if self.sim.obs.active() {
+            self.sim.obs.on_handoff(t, station, from, to);
+        }
     }
 
     /// Replaces `station`'s channel error model (mobility: path loss

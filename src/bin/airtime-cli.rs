@@ -16,10 +16,10 @@ use std::path::PathBuf;
 
 use airtime::model::{gamma_measured, rf_allocation, tf_allocation, NodeSpec};
 use airtime::obs::json::{array_f64, Obj};
-use airtime::obs::prof::{alloc_stats, dist_json, set_alloc_counting, HOST_PID};
+use airtime::obs::prof::{alloc_stats, dist_json, set_alloc_counting, DEFAULT_TRACE_CAP, HOST_PID};
 use airtime::obs::{
-    AirtimeLedger, ChromeTrace, ChromeTraceObserver, CountingAlloc, JsonlObserver, MetricsRegistry,
-    NullObserver, Observer, SpanCollector, TeeObserver,
+    fp_hex, AirtimeLedger, ChromeTrace, ChromeTraceObserver, CountingAlloc, FlightRecorder,
+    JsonlObserver, MetricsRegistry, NullObserver, Observer, Recording, SpanCollector, TeeObserver,
 };
 use airtime::phy::DataRate;
 use airtime::sim::SimDuration;
@@ -45,6 +45,16 @@ USAGE:
                                     scenarios and emit a machine-readable
                                     perf report (plus an optional Chrome
                                     trace)
+    airtime-cli verify-determinism <file.toml>
+                                    run the scenario under every queue
+                                    backend x tick-mode combo (and both
+                                    1 and N sweep threads), compare
+                                    flight-recorder fingerprints, and on
+                                    mismatch pin the exact first
+                                    divergent (time, seq, label) event
+    airtime-cli replay <recording>  pretty-print a flight recording
+                                    (written by run --record) as a
+                                    causal event log
     airtime-cli predict [OPTIONS]   analytic RF/TF predictions (Eqs 6/12)
 
 OPTIONS (run):
@@ -66,6 +76,12 @@ OPTIONS (run):
                         as JSON (implies instrumentation)
     --metrics-csv <path> export the metrics snapshot time-series as CSV
                         with a schema header (implies instrumentation)
+    --record <path>     attach a flight recorder and write the causal
+                        event recording (fingerprint checkpoints + the
+                        retained event ring) as JSONL; topology
+                        scenarios write one file per cell
+                        (<stem>.cell<i>.jsonl). The report stays
+                        byte-identical to an unrecorded run.
     --json              print the report as JSON instead of a table
 
 OPTIONS (sweep):
@@ -86,6 +102,9 @@ OPTIONS (inspect):
                         conservation audit; non-zero exit on failure
     --prof <report>     pretty-print a perf report written by
                         `profile --json` (no trace path needed)
+    --fp                the positional is a flight recording (from
+                        run --record): print its fingerprint timeline
+                        (rolling checkpoints) instead of a trace summary
 
 OPTIONS (profile):
     --json <path>       where to write the perf-report JSON
@@ -95,7 +114,20 @@ OPTIONS (profile):
                         — open in chrome://tracing or ui.perfetto.dev.
                         The trace is captured in a second untimed pass,
                         so it never skews the timing numbers.
+    --trace-cap <n>     cap on buffered trace events (beyond it events
+                        are dropped and counted)    [default: 1000000]
 Scenario [sweep] sections are ignored: profile times the base config.
+
+OPTIONS (verify-determinism):
+    --threads <n>       sweep thread count compared against 1 [default: 4]
+    --interval <n>      events per fingerprint checkpoint  [default: 4096]
+    --inject <combo:n>  test hook: perturb event #n of the named combo
+                        (heap/dense, heap/coalesced, wheel/dense,
+                        wheel/coalesced), manufacturing a synthetic
+                        divergence to exercise the localization path
+
+OPTIONS (replay):
+    --window <a..b>     only print events with stream index in [a, b)
 
 Scenario files are a TOML subset; see examples/scenarios/ and the
 README's \"Scenario files\" section. Malformed files exit non-zero with
@@ -156,6 +188,18 @@ struct Args {
     prof: Option<PathBuf>,
     /// `profile --trace-out`: Chrome trace-event JSON destination.
     trace_out: Option<PathBuf>,
+    /// `profile --trace-cap`: buffered-trace-event cap override.
+    trace_cap: Option<usize>,
+    /// `run --record`: flight-recording JSONL destination.
+    record: Option<PathBuf>,
+    /// `inspect --fp`: fingerprint timeline of a flight recording.
+    fp: bool,
+    /// `verify-determinism --interval`: events per checkpoint.
+    interval: Option<u64>,
+    /// `verify-determinism --inject combo:index`: synthetic divergence.
+    inject: Option<String>,
+    /// `replay --window a..b`: stream-index window to print.
+    window: Option<String>,
     /// Positional arguments (the trace path for `inspect`, the
     /// scenario file for `sweep`, one or more scenario files for
     /// `profile` — only `profile` accepts more than one).
@@ -186,6 +230,12 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         audit: false,
         prof: None,
         trace_out: None,
+        trace_cap: None,
+        record: None,
+        fp: false,
+        interval: None,
+        inject: None,
+        window: None,
         positionals: Vec::new(),
     };
     while let Some(flag) = argv.next() {
@@ -230,6 +280,28 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             "--csv" => args.csv = Some(PathBuf::from(value()?)),
             "--prof" => args.prof = Some(PathBuf::from(value()?)),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value()?)),
+            "--trace-cap" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --trace-cap: {e}"))?;
+                if n == 0 {
+                    return Err("--trace-cap must be at least 1".into());
+                }
+                args.trace_cap = Some(n);
+            }
+            "--record" => args.record = Some(PathBuf::from(value()?)),
+            "--fp" => args.fp = true,
+            "--interval" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|e| format!("bad --interval: {e}"))?;
+                if n == 0 {
+                    return Err("--interval must be at least 1".into());
+                }
+                args.interval = Some(n);
+            }
+            "--inject" => args.inject = Some(value()?),
+            "--window" => args.window = Some(value()?),
             // `run --json` is a bare flag; `sweep --json <path>` and
             // `profile --json <path>` take a path.
             "--json" if cmd == "sweep" || cmd == "profile" => {
@@ -277,36 +349,59 @@ fn cmd_run(a: &Args) -> Result<(), String> {
 
     let mut registry = (a.metrics.is_some() || a.metrics_csv.is_some()).then(MetricsRegistry::new);
     let mut ledger = None;
-    let r = match (&a.events, a.ledger.is_some()) {
-        (Some(path), true) => {
-            // Ledger + trace: tee the event stream into both.
-            let jsonl = JsonlObserver::create(path)
-                .map_err(|e| format!("creating {}: {e}", path.display()))?;
-            let mut tee = TeeObserver::new(AirtimeLedger::new(), jsonl);
-            let r = run_instrumented(&cfg, &mut tee, registry.as_mut());
-            tee.finish()
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
-            ledger = Some(tee.a);
-            r
+    let r = if let Some(path) = &a.record {
+        // The flight recorder wants the whole observer lane to itself
+        // (its stream is the debugging artifact); reports stay
+        // byte-identical either way.
+        if a.events.is_some() || a.ledger.is_some() {
+            return Err("--record cannot be combined with --events or --ledger".into());
         }
-        (Some(path), false) => {
-            let mut obs = JsonlObserver::create(path)
-                .map_err(|e| format!("creating {}: {e}", path.display()))?;
-            let r = run_instrumented(&cfg, &mut obs, registry.as_mut());
-            obs.finish()
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
-            r
+        let mut rec = FlightRecorder::new();
+        let r = run_instrumented(&cfg, &mut rec, registry.as_mut());
+        std::fs::write(path, rec.to_jsonl())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        if !a.json {
+            println!(
+                "flight recording written to {} ({} events, {} retained, fp {})\n",
+                path.display(),
+                rec.events(),
+                rec.ring().count(),
+                fp_hex(rec.fingerprint())
+            );
         }
-        (None, true) => {
-            let mut led = AirtimeLedger::new();
-            let r = run_instrumented(&cfg, &mut led, registry.as_mut());
-            ledger = Some(led);
-            r
+        r
+    } else {
+        match (&a.events, a.ledger.is_some()) {
+            (Some(path), true) => {
+                // Ledger + trace: tee the event stream into both.
+                let jsonl = JsonlObserver::create(path)
+                    .map_err(|e| format!("creating {}: {e}", path.display()))?;
+                let mut tee = TeeObserver::new(AirtimeLedger::new(), jsonl);
+                let r = run_instrumented(&cfg, &mut tee, registry.as_mut());
+                tee.finish()
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                ledger = Some(tee.a);
+                r
+            }
+            (Some(path), false) => {
+                let mut obs = JsonlObserver::create(path)
+                    .map_err(|e| format!("creating {}: {e}", path.display()))?;
+                let r = run_instrumented(&cfg, &mut obs, registry.as_mut());
+                obs.finish()
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                r
+            }
+            (None, true) => {
+                let mut led = AirtimeLedger::new();
+                let r = run_instrumented(&cfg, &mut led, registry.as_mut());
+                ledger = Some(led);
+                r
+            }
+            (None, false) => match registry.as_mut() {
+                Some(reg) => run_instrumented(&cfg, &mut NullObserver, Some(reg)),
+                None => run(&cfg),
+            },
         }
-        (None, false) => match registry.as_mut() {
-            Some(reg) => run_instrumented(&cfg, &mut NullObserver, Some(reg)),
-            None => run(&cfg),
-        },
     };
     if let (Some(path), Some(reg)) = (&a.metrics, &registry) {
         std::fs::write(path, reg.to_json() + "\n")
@@ -401,21 +496,53 @@ fn run_topology_scenario(a: &Args, spec: &airtime::scenario::ScenarioSpec) -> Re
             ));
         }
     }
+    // One span collector + ledger per cell, plus a flight-recorder
+    // lane: full ring when `--record` asked for the artifact, pure
+    // fingerprinting (capacity 0) otherwise.
     let mut obs: Vec<_> = (0..topo.cells.len())
-        .map(|_| TeeObserver::new(SpanCollector::new(), AirtimeLedger::new()))
+        .map(|c| {
+            let rec = if a.record.is_some() {
+                FlightRecorder::new()
+            } else {
+                FlightRecorder::new().with_capacity(0)
+            };
+            TeeObserver::new(
+                TeeObserver::new(SpanCollector::new(), AirtimeLedger::new()),
+                rec.for_cell(c as u64),
+            )
+        })
         .collect();
     let tr = airtime::topo::run_topology(topo, &mut obs);
-    let delays: Vec<_> = obs.iter().map(|o| o.a.summary()).collect();
-    let audits: Vec<_> = obs.iter().map(|o| o.b.audit()).collect();
+    let delays: Vec<_> = obs.iter().map(|o| o.a.a.summary()).collect();
+    let audits: Vec<_> = obs.iter().map(|o| o.a.b.audit()).collect();
     if let Some(path) = &a.ledger {
         // One timeline file per radio cell: `<stem>.cell<i>[.ext]`.
         for (i, o) in obs.iter().enumerate() {
             let p = suffixed(path, &format!("cell{i}"));
-            std::fs::write(&p, o.b.timeline_csv())
+            std::fs::write(&p, o.a.b.timeline_csv())
                 .map_err(|e| format!("writing {}: {e}", p.display()))?;
         }
     }
-    let agg = airtime::scenario::aggregate::aggregate_topology(
+    if let Some(path) = &a.record {
+        // One recording per radio cell lane: `<stem>.cell<i>[.ext]`.
+        for (i, o) in obs.iter().enumerate() {
+            let p = suffixed(path, &format!("cell{i}"));
+            std::fs::write(&p, o.b.to_jsonl())
+                .map_err(|e| format!("writing {}: {e}", p.display()))?;
+            if !a.json {
+                println!(
+                    "cell {i} flight recording written to {} ({} events, fp {})",
+                    p.display(),
+                    o.b.events(),
+                    fp_hex(o.b.fingerprint())
+                );
+            }
+        }
+        if !a.json {
+            println!();
+        }
+    }
+    let mut agg = airtime::scenario::aggregate::aggregate_topology(
         0,
         Vec::new(),
         spec,
@@ -423,6 +550,9 @@ fn run_topology_scenario(a: &Args, spec: &airtime::scenario::ScenarioSpec) -> Re
         &delays,
         &audits,
     );
+    agg.fp = Some(fp_hex(airtime::scenario::combine_fps(
+        obs.iter().map(|o| o.b.fingerprint()),
+    )));
     let roam = agg.roam.as_ref().expect("topology aggregate");
 
     if a.json {
@@ -684,6 +814,32 @@ fn cmd_inspect(a: &Args) -> Result<(), String> {
         .first()
         .ok_or("inspect needs a trace path: airtime-cli inspect <events.jsonl>")?;
     let p = std::path::Path::new(path);
+    if a.fp {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {path}: {e}"))?;
+        let rec = Recording::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "recording: {} events, fp {}, {} checkpoints (every {} events){}",
+            rec.total_events,
+            rec.fp,
+            rec.checkpoints.len(),
+            rec.interval,
+            match rec.cell {
+                Some(c) => format!(", cell {c} lane"),
+                None => String::new(),
+            }
+        );
+        println!("checkpoint     events            t(s)  fingerprint");
+        for (i, cp) in rec.checkpoints.iter().enumerate() {
+            println!(
+                "{:>10}  {:>9}  {:>14.9}  {}",
+                i,
+                cp.events,
+                cp.t.as_secs_f64(),
+                fp_hex(cp.fp)
+            );
+        }
+        return Ok(());
+    }
     if a.spans || a.audit {
         if a.spans {
             let spans = SpanCollector::from_file(p).map_err(|e| format!("reading {path}: {e}"))?;
@@ -714,7 +870,10 @@ fn cmd_profile(a: &Args) -> Result<(), String> {
             "profile needs at least one scenario file: airtime-cli profile <file.toml>...".into(),
         );
     }
-    let mut trace = a.trace_out.as_ref().map(|_| ChromeTrace::new());
+    let mut trace = a
+        .trace_out
+        .as_ref()
+        .map(|_| ChromeTrace::with_cap(a.trace_cap.unwrap_or(DEFAULT_TRACE_CAP)));
     // Cell lanes count up from 0; synthetic dispatch-summary lanes
     // count up from HOST_PID so they sort below the real cells.
     let mut next_pid: u64 = 0;
@@ -899,6 +1058,100 @@ fn profile_topology(
         .finish()
 }
 
+/// `verify-determinism <file.toml>` — the first-divergence debugger.
+/// Exit 0: every backend × tick-mode combo (and both sweep thread
+/// counts) produced identical fingerprint streams. Exit 1: at least
+/// one diverged; the exact first divergent event is printed.
+fn cmd_verify_determinism(a: &Args) -> Result<(), String> {
+    let path = a.positionals.first().ok_or(
+        "verify-determinism needs a scenario file: airtime-cli verify-determinism <file.toml>",
+    )?;
+    let p = std::path::Path::new(path);
+    let file = p.display().to_string();
+    let doc = airtime::scenario::load(p).map_err(|e| e.to_string())?;
+    let spec = airtime::scenario::compile(&doc, &file).map_err(|e| e.to_string())?;
+    let mut opts = airtime::scenario::VerifyOptions::default();
+    if let Some(n) = a.interval {
+        opts.interval = n;
+    }
+    if let Some(n) = a.threads {
+        opts.threads = n;
+    }
+    if let Some(inj) = &a.inject {
+        let (combo, idx) = inj
+            .rsplit_once(':')
+            .ok_or("--inject wants <combo>:<event index>, e.g. wheel/coalesced:1000")?;
+        let idx: u64 = idx
+            .parse()
+            .map_err(|e| format!("bad --inject index: {e}"))?;
+        if !airtime::scenario::verify::COMBOS
+            .iter()
+            .any(|c| c.0 == combo)
+        {
+            return Err(format!("--inject: unknown combo '{combo}'"));
+        }
+        opts.inject = Some((combo.to_string(), idx));
+    }
+    let outcome = airtime::scenario::verify_determinism(&spec, Some(&doc), &file, &opts)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "verify-determinism '{}': {} vs {} ({} events, reference fp {})",
+        outcome.name,
+        outcome.combos[0],
+        outcome.combos[1..].join(", "),
+        outcome.events,
+        outcome.fp
+    );
+    if outcome.swept {
+        println!(
+            "sweep matrix compared at 1 vs {} threads",
+            opts.threads.max(2)
+        );
+    }
+    if outcome.passed() {
+        println!("PASS — all combos produced identical causal streams");
+        return Ok(());
+    }
+    for d in &outcome.divergences {
+        print!("{}", d.render());
+    }
+    for (cell, f1, fn_) in &outcome.sweep_mismatches {
+        println!("sweep cell {cell}: fp {f1} at 1 thread vs {fn_} at N threads");
+    }
+    Err("determinism verification failed".into())
+}
+
+/// `replay <recording>` — pretty-prints a flight recording written by
+/// `run --record` as a causal event log.
+fn cmd_replay(a: &Args) -> Result<(), String> {
+    let path = a
+        .positionals
+        .first()
+        .ok_or("replay needs a recording: airtime-cli replay <recording.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let rec = Recording::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let (start, end) = match &a.window {
+        None => (None, None),
+        Some(w) => {
+            let (a_s, b_s) = w
+                .split_once("..")
+                .ok_or("--window wants <start>..<end> (stream indices)")?;
+            let parse = |s: &str| -> Result<Option<u64>, String> {
+                if s.is_empty() {
+                    Ok(None)
+                } else {
+                    s.parse()
+                        .map(Some)
+                        .map_err(|e| format!("bad --window: {e}"))
+                }
+            };
+            (parse(a_s)?, parse(b_s)?)
+        }
+    };
+    print!("{}", rec.render_window(start, end));
+    Ok(())
+}
+
 fn cmd_predict(a: &Args) {
     let specs: Vec<NodeSpec> = a
         .rates
@@ -950,6 +1203,8 @@ fn main() {
                 "sweep" => cmd_sweep(&args),
                 "inspect" => cmd_inspect(&args),
                 "profile" => cmd_profile(&args),
+                "verify-determinism" => cmd_verify_determinism(&args),
+                "replay" => cmd_replay(&args),
                 "predict" => {
                     cmd_predict(&args);
                     Ok(())
