@@ -78,6 +78,74 @@ pub fn max_min_allocation(capacity: f64, demands: &[f64]) -> Vec<f64> {
     alloc
 }
 
+/// Weighted max-min fair *throughput* allocation over a multi-rate
+/// airtime budget (water-filling over per-station achievable rates).
+///
+/// Station *i* can move at most `rates[i]` bit/s when it holds the
+/// channel, wants at most `demands[i]` bit/s, and carries QoS weight
+/// `weights[i]`. One unit of shared airtime is distributed so that the
+/// normalised throughputs `xᵢ/wᵢ` are max-min fair subject to the
+/// airtime constraint `Σ xᵢ/rᵢ ≤ 1` and the demand caps `xᵢ ≤ dᵢ`:
+/// there is a water level τ with `xᵢ = min(dᵢ, wᵢ·τ)` and either the
+/// airtime budget is exhausted or every demand is met.
+///
+/// With all rates equal to `r` and unit weights this reduces to
+/// [`max_min_allocation`]`(r, demands)` — the single-rate wired case —
+/// which the tests assert. In a multi-rate cell the airtime constraint
+/// is what makes equalised throughput expensive: a slow station's bits
+/// drain the shared budget `1/rᵢ` times faster (the §2.3 anomaly, here
+/// in closed form).
+///
+/// # Panics
+///
+/// Panics on negative demands, non-positive rates, or non-positive
+/// weights. Empty input yields an empty allocation.
+pub fn waterfill_airtime(demands: &[f64], rates: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(demands.len(), rates.len());
+    assert_eq!(demands.len(), weights.len());
+    assert!(
+        demands.iter().all(|&d| d >= 0.0),
+        "demands must be non-negative"
+    );
+    assert!(rates.iter().all(|&r| r > 0.0), "rates must be positive");
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    let n = demands.len();
+    let mut alloc = vec![0.0; n];
+    let mut saturated = vec![false; n];
+    let mut budget = 1.0f64; // airtime fraction still unassigned
+    for _ in 0..=n {
+        // Raise the water level for the unsaturated set; a station whose
+        // demand sits below the level saturates (gets its demand) and
+        // frees budget for another pass.
+        let denom: f64 = (0..n)
+            .filter(|&i| !saturated[i])
+            .map(|i| weights[i] / rates[i])
+            .sum();
+        if denom <= 0.0 || budget <= 1e-15 {
+            break;
+        }
+        let tau = budget / denom;
+        let mut newly_saturated = false;
+        for i in 0..n {
+            if !saturated[i] && demands[i] < weights[i] * tau {
+                alloc[i] = demands[i];
+                budget -= demands[i] / rates[i];
+                saturated[i] = true;
+                newly_saturated = true;
+            }
+        }
+        if !newly_saturated {
+            for i in 0..n {
+                if !saturated[i] {
+                    alloc[i] = weights[i] * tau;
+                }
+            }
+            break;
+        }
+    }
+    alloc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +202,58 @@ mod tests {
     #[test]
     fn max_min_zero_capacity() {
         assert_eq!(max_min_allocation(0.0, &[1.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn waterfill_reduces_to_max_min_when_rates_equal() {
+        // Single-rate cell: waterfilling one unit of airtime at rate r
+        // is exactly the wired max-min allocation of capacity r.
+        let demands = [1.0e6, 3.0e6, 100.0e6];
+        let r = 10.0e6;
+        let a = waterfill_airtime(&demands, &[r; 3], &[1.0; 3]);
+        let b = max_min_allocation(r, &demands);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-3, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn waterfill_equalises_throughput_for_greedy_multirate() {
+        // Two saturated stations at 11 and 1 Mbit/s: max-min equalises
+        // throughput (Leith et al.), x = 1/(1/11 + 1/1) Mbit/s each.
+        let a = waterfill_airtime(&[1e9, 1e9], &[11e6, 1e6], &[1.0, 1.0]);
+        let expect = 1.0 / (1.0 / 11e6 + 1.0 / 1e6);
+        assert!((a[0] - expect).abs() < 1.0, "{a:?}");
+        assert!((a[1] - expect).abs() < 1.0, "{a:?}");
+    }
+
+    #[test]
+    fn waterfill_caps_at_demand_and_redistributes() {
+        // A station wanting only 0.5 Mbit/s frees airtime for the rest.
+        let a = waterfill_airtime(&[0.5e6, 1e9], &[11e6, 11e6], &[1.0, 1.0]);
+        assert!((a[0] - 0.5e6).abs() < 1.0, "{a:?}");
+        // Remaining airtime: 1 - 0.5/11; all to station 1 at 11 Mbit/s.
+        let expect = (1.0 - 0.5 / 11.0) * 11e6;
+        assert!((a[1] - expect).abs() < 1.0, "{a:?}");
+    }
+
+    #[test]
+    fn waterfill_honours_weights() {
+        // Weight 2 vs 1, equal rates, both greedy: 2:1 throughput split.
+        let a = waterfill_airtime(&[1e9, 1e9], &[11e6, 11e6], &[2.0, 1.0]);
+        assert!((a[0] / a[1] - 2.0).abs() < 1e-9, "{a:?}");
+    }
+
+    #[test]
+    fn waterfill_airtime_budget_is_conserved() {
+        let demands = [2e6, 5e6, 1e9, 0.0];
+        let rates = [11e6, 5.5e6, 2e6, 1e6];
+        let a = waterfill_airtime(&demands, &rates, &[1.0; 4]);
+        let airtime: f64 = a.iter().zip(rates.iter()).map(|(x, r)| x / r).sum();
+        assert!(airtime <= 1.0 + 1e-9, "airtime {airtime}");
+        for (x, d) in a.iter().zip(demands.iter()) {
+            assert!(*x <= d + 1e-9);
+        }
     }
 
     #[test]

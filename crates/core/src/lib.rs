@@ -43,9 +43,9 @@ pub mod tbr;
 pub mod txop;
 
 pub use buffer::{BufferPolicy, RedConfig};
-pub use fairness::{airtime_shares, max_min_allocation, throughput_gap};
+pub use fairness::{airtime_shares, max_min_allocation, throughput_gap, waterfill_airtime};
 pub use scheduler::{
-    ApScheduler, ClientId, DrrScheduler, EnqueueOutcome, FifoScheduler, QueuedPacket,
+    ApScheduler, ClientId, DrrScheduler, EnqueueOutcome, FifoScheduler, QueuePool, QueuedPacket,
     RoundRobinScheduler,
 };
 pub use tbr::{TbrConfig, TbrScheduler};

@@ -245,9 +245,11 @@ impl ApScheduler for FifoScheduler {
 /// Per-client drop-tail queues with a shared total budget, as in the
 /// paper's §4.4: an AP with total buffer x serves n clients with n
 /// queues of x/n packets each.
-pub(crate) struct QueuePool {
-    pub(crate) queues: Vec<VecDeque<QueuedPacket>>,
-    pub(crate) clients: Vec<ClientId>,
+pub struct QueuePool {
+    /// One FIFO per registered client, in slot order.
+    pub queues: Vec<VecDeque<QueuedPacket>>,
+    /// Slot → client mapping (append-only).
+    pub clients: Vec<ClientId>,
     total_budget: usize,
     drops: u64,
     policy: BufferPolicy,
@@ -256,11 +258,11 @@ pub(crate) struct QueuePool {
 }
 
 impl QueuePool {
-    pub(crate) fn new(total_budget: usize) -> Self {
+    pub fn new(total_budget: usize) -> Self {
         Self::with_policy(total_budget, BufferPolicy::DropTail)
     }
 
-    pub(crate) fn with_policy(total_budget: usize, policy: BufferPolicy) -> Self {
+    pub fn with_policy(total_budget: usize, policy: BufferPolicy) -> Self {
         QueuePool {
             queues: Vec::new(),
             clients: Vec::new(),
@@ -274,11 +276,11 @@ impl QueuePool {
         }
     }
 
-    pub(crate) fn slot_of(&self, client: ClientId) -> Option<usize> {
+    pub fn slot_of(&self, client: ClientId) -> Option<usize> {
         self.clients.iter().position(|&c| c == client)
     }
 
-    pub(crate) fn add_client(&mut self, client: ClientId) -> usize {
+    pub fn add_client(&mut self, client: ClientId) -> usize {
         match self.slot_of(client) {
             Some(i) => i,
             None => {
@@ -290,11 +292,11 @@ impl QueuePool {
         }
     }
 
-    pub(crate) fn per_queue_cap(&self) -> usize {
+    pub fn per_queue_cap(&self) -> usize {
         (self.total_budget / self.queues.len().max(1)).max(1)
     }
 
-    pub(crate) fn enqueue(&mut self, pkt: QueuedPacket) -> EnqueueOutcome {
+    pub fn enqueue(&mut self, pkt: QueuedPacket) -> EnqueueOutcome {
         let slot = self.add_client(pkt.client);
         let cap = self.per_queue_cap();
         let len = self.queues[slot].len();
@@ -311,7 +313,7 @@ impl QueuePool {
     /// itself persists (slots are append-only so RR/DRR rotation
     /// indices stay stable across association churn); only its contents
     /// and RED history go.
-    pub(crate) fn flush_client(&mut self, client: ClientId) -> Vec<QueuedPacket> {
+    pub fn flush_client(&mut self, client: ClientId) -> Vec<QueuedPacket> {
         match self.slot_of(client) {
             Some(i) => {
                 self.red[i] = RedState::default();
@@ -323,20 +325,25 @@ impl QueuePool {
 
     /// Counts a drop decided outside the pool's own buffer policy
     /// (e.g. traffic addressed to a disassociated client).
-    pub(crate) fn note_drop(&mut self) {
+    pub fn note_drop(&mut self) {
         self.drops += 1;
     }
 
-    pub(crate) fn backlog(&self) -> usize {
+    pub fn backlog(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
     }
 
-    pub(crate) fn drops(&self) -> u64 {
+    pub fn drops(&self) -> u64 {
         self.drops
     }
 
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.queues.len()
+    }
+
+    /// True when no client slot has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
     }
 }
 
@@ -439,6 +446,9 @@ pub struct DrrScheduler {
     pool: QueuePool,
     deficits: Vec<u64>,
     quantum: u64,
+    /// Per-client QoS weights scaling the quantum (the weighted-DRR
+    /// extension, so weighted scenarios compare across families).
+    weights: Vec<f64>,
     next: usize,
     /// Queue currently being drained within its round's deficit.
     in_service: Option<usize>,
@@ -452,9 +462,29 @@ impl DrrScheduler {
             pool: QueuePool::new(total_budget),
             deficits: Vec::new(),
             quantum: quantum.max(1),
+            weights: Vec::new(),
             next: 0,
             in_service: None,
         }
+    }
+
+    /// Associates `client` with a QoS weight: each visit grants
+    /// `weight × quantum` bytes, so long-term byte shares follow the
+    /// weights (classic weighted DRR). Weight 1.0 is plain DRR.
+    pub fn on_associate_weighted(&mut self, client: ClientId, weight: f64, _now: SimTime) {
+        assert!(weight > 0.0, "weight must be positive");
+        let slot = self.pool.add_client(client);
+        while slot >= self.deficits.len() {
+            self.deficits.push(0);
+            self.weights.push(1.0);
+        }
+        self.weights[slot] = weight;
+    }
+
+    /// The byte grant slot `i` receives per round visit.
+    fn quantum_of(&self, i: usize) -> u64 {
+        let w = self.weights.get(i).copied().unwrap_or(1.0);
+        ((self.quantum as f64 * w).round() as u64).max(1)
     }
 
     fn serve(&mut self, i: usize) -> Option<QueuedPacket> {
@@ -482,17 +512,22 @@ impl Default for DrrScheduler {
 }
 
 impl ApScheduler for DrrScheduler {
-    fn on_associate(&mut self, client: ClientId, _now: SimTime) {
-        let slot = self.pool.add_client(client);
-        if slot >= self.deficits.len() {
-            self.deficits.push(0);
-        }
+    fn on_associate(&mut self, client: ClientId, now: SimTime) {
+        // Registration without an explicit weight keeps (or defaults
+        // to) weight 1.0 — plain DRR.
+        let weight = self
+            .pool
+            .slot_of(client)
+            .and_then(|i| self.weights.get(i).copied())
+            .unwrap_or(1.0);
+        self.on_associate_weighted(client, weight, now);
     }
 
     fn on_disassociate(&mut self, client: ClientId, _now: SimTime) -> Vec<QueuedPacket> {
         let flushed = self.pool.flush_client(client);
         if let Some(slot) = self.pool.slot_of(client) {
             self.deficits[slot] = 0;
+            self.weights[slot] = 1.0;
             if self.in_service == Some(slot) {
                 self.in_service = None;
             }
@@ -502,8 +537,9 @@ impl ApScheduler for DrrScheduler {
 
     fn enqueue(&mut self, pkt: QueuedPacket, _now: SimTime) -> EnqueueOutcome {
         let slot = self.pool.add_client(pkt.client);
-        if slot >= self.deficits.len() {
+        while slot >= self.deficits.len() {
             self.deficits.push(0);
+            self.weights.push(1.0);
         }
         self.pool.enqueue(pkt)
     }
@@ -534,7 +570,7 @@ impl ApScheduler for DrrScheduler {
                 self.deficits[i] = 0;
                 continue;
             }
-            self.deficits[i] += self.quantum;
+            self.deficits[i] += self.quantum_of(i);
             if let Some(pkt) = self.serve(i) {
                 return Some(pkt);
             }
@@ -601,6 +637,56 @@ mod tests {
         assert_eq!(f.dequeue(now).unwrap().handle, 1);
         assert_eq!(f.dequeue(now).unwrap().handle, 2);
         assert!(f.dequeue(now).is_none());
+    }
+
+    #[test]
+    fn drr_weight_scales_byte_share() {
+        // Weight 2 vs 1: over many rounds the heavy client should move
+        // ~2× the bytes of the light one (equal packet sizes, both
+        // saturated).
+        let mut s = DrrScheduler::new(1000, 1500);
+        let now = SimTime::ZERO;
+        s.on_associate_weighted(ClientId(0), 2.0, now);
+        s.on_associate_weighted(ClientId(1), 1.0, now);
+        let mut served = [0u64; 2];
+        let mut h = 0;
+        for _ in 0..300 {
+            for c in 0..2 {
+                while s.queue_len(ClientId(c)) < 8 {
+                    s.enqueue(pkt(c, h, 1500), now);
+                    h += 1;
+                }
+            }
+            let p = s.dequeue(now).expect("saturated");
+            served[p.client.index()] += p.bytes;
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!(
+            (1.8..2.2).contains(&ratio),
+            "weighted byte ratio {ratio}, served {served:?}"
+        );
+    }
+
+    #[test]
+    fn drr_weight_default_is_plain_drr() {
+        // on_associate (no weight) must behave exactly like weight 1.0.
+        let mut a = DrrScheduler::new(100, 1500);
+        let mut b = DrrScheduler::new(100, 1500);
+        let now = SimTime::ZERO;
+        for c in 0..2 {
+            a.on_associate(ClientId(c), now);
+            b.on_associate_weighted(ClientId(c), 1.0, now);
+        }
+        for h in 0..6 {
+            a.enqueue(pkt((h % 2) as usize, h, 700), now);
+            b.enqueue(pkt((h % 2) as usize, h, 700), now);
+        }
+        for _ in 0..6 {
+            assert_eq!(
+                a.dequeue(now).map(|p| p.handle),
+                b.dequeue(now).map(|p| p.handle)
+            );
+        }
     }
 
     #[test]

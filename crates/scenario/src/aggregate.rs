@@ -104,12 +104,23 @@ pub struct RoamSummary {
 /// Resolves [`CheckProperty::Auto`] by scheduler family.
 fn resolve_property(check: &CheckSpec, scheduler: &SchedulerKind) -> CheckProperty {
     match check.property {
-        CheckProperty::Auto => match scheduler {
-            SchedulerKind::Tbr(_) | SchedulerKind::Txop(_) => CheckProperty::AirtimeFair,
-            SchedulerKind::Fifo | SchedulerKind::RoundRobin | SchedulerKind::Drr => {
+        // The family registry is the single source of truth for which
+        // baseline each discipline targets: time-fair families (TBR,
+        // TXOP, PF) equalise airtime for saturated equal-weight
+        // clients, the rest (FIFO, RR, DRR, max-min) equalise
+        // throughput.
+        CheckProperty::Auto => {
+            let name = scheduler.family();
+            let time_fair = airtime_sched::FAMILIES
+                .iter()
+                .find(|f| f.name == name)
+                .is_some_and(|f| f.time_fair);
+            if time_fair {
+                CheckProperty::AirtimeFair
+            } else {
                 CheckProperty::ThroughputFair
             }
-        },
+        }
         p => p,
     }
 }

@@ -41,6 +41,7 @@ pub mod pool;
 pub mod spec;
 pub mod sweep;
 pub mod toml;
+pub mod tournament;
 pub mod verify;
 
 use std::fmt;
@@ -50,6 +51,10 @@ pub use aggregate::{Cell, CellStation, CheckOutcome, RoamSummary};
 pub use pool::PoolStats;
 pub use spec::{CheckProperty, CheckSpec, ScenarioSpec};
 pub use sweep::{Axis, Job};
+pub use tournament::{
+    run_tournament, run_tournament_text, TournamentOutcome, TournamentRow, TournamentSpec,
+    TournamentStation,
+};
 pub use verify::{verify_determinism, Divergence, VerifyOptions, VerifyOutcome};
 
 /// A scenario failure bound to its file — the one-line diagnostic

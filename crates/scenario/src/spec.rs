@@ -17,14 +17,14 @@
 //! station_count = 4           # replicate declared stations cyclically
 //!
 //! [scheduler]
-//! kind = "tbr"                # fifo | rr | drr | tbr | txop
+//! kind = "tbr"                # fifo | rr | drr | tbr | txop | pf | maxmin
 //! bucket_ms = 20              # TBR/TXOP parameter tables, see below
 //!
 //! [[station]]                 # at least one station is required
 //! rate = "11"                 # fixed-rate link: Mbit/s from the
 //!                             # 802.11b/g set ("5.5" needs quotes)
 //! fer = 0.01                  # flat frame error rate
-//! weight = 1.0                # TBR QoS weight
+//! weight = 1.0                # QoS weight (tbr, drr, pf, maxmin)
 //! transport = "tcp"           # tcp | udp (one implicit flow)
 //! # … or a geometry link:
 //! # distance_ft = 26
@@ -81,6 +81,7 @@
 
 use airtime_core::{TbrConfig, TxopConfig};
 use airtime_phy::{DataRate, RateSet, Wall};
+use airtime_sched::{MaxMinConfig, PfConfig};
 use airtime_sim::{SimDuration, SimTime};
 use airtime_topo::{CellSpec, Placement, Point, RatePolicy, TopologyConfig, WaypointPath};
 use airtime_wlan::{
@@ -240,29 +241,35 @@ pub fn parse_rate(e: &Entry) -> Result<DataRate, CompileError> {
             )
         }
     };
-    let rate = match tok.as_str() {
-        "1" => DataRate::B1,
-        "2" => DataRate::B2,
-        "5.5" => DataRate::B5_5,
-        "11" => DataRate::B11,
-        "6" => DataRate::G6,
-        "9" => DataRate::G9,
-        "12" => DataRate::G12,
-        "18" => DataRate::G18,
-        "24" => DataRate::G24,
-        "36" => DataRate::G36,
-        "48" => DataRate::G48,
-        "54" => DataRate::G54,
-        other => {
-            return err(
-                e.line,
-                format!(
-                    "unknown rate '{other}'; expected one of 1, 2, 5.5, 11, 6, 9, 12, 18, 24, 36, 48, 54"
-                ),
-            )
-        }
-    };
-    Ok(rate)
+    match rate_from_token(&tok) {
+        Some(rate) => Ok(rate),
+        None => err(
+            e.line,
+            format!(
+                "unknown rate '{tok}'; expected one of 1, 2, 5.5, 11, 6, 9, 12, 18, 24, 36, 48, 54"
+            ),
+        ),
+    }
+}
+
+/// Maps a bare rate token (`"11"`, `"5.5"`, with or without a trailing
+/// `M`) to its [`DataRate`]; `None` for anything unrecognised.
+pub(crate) fn rate_from_token(tok: &str) -> Option<DataRate> {
+    match tok.trim().trim_end_matches('M') {
+        "1" => Some(DataRate::B1),
+        "2" => Some(DataRate::B2),
+        "5.5" => Some(DataRate::B5_5),
+        "11" => Some(DataRate::B11),
+        "6" => Some(DataRate::G6),
+        "9" => Some(DataRate::G9),
+        "12" => Some(DataRate::G12),
+        "18" => Some(DataRate::G18),
+        "24" => Some(DataRate::G24),
+        "36" => Some(DataRate::G36),
+        "48" => Some(DataRate::G48),
+        "54" => Some(DataRate::G54),
+        _ => None,
+    }
 }
 
 fn parse_direction(e: &Entry) -> Result<Direction, CompileError> {
@@ -287,7 +294,11 @@ fn parse_transport(e: &Entry) -> Result<Transport, CompileError> {
     }
 }
 
-fn check_keys(table: &Table, section: &str, allowed: &[&str]) -> Result<(), CompileError> {
+pub(crate) fn check_keys(
+    table: &Table,
+    section: &str,
+    allowed: &[&str],
+) -> Result<(), CompileError> {
     for e in &table.entries {
         if !allowed.contains(&e.key.as_str()) {
             return err(
@@ -373,6 +384,8 @@ const SCHEDULER_KEYS: &[&str] = &[
     "restitution",
     "total_buffer",
     "quantum_ms",
+    "beta",
+    "rate_ewma",
 ];
 
 const CHECK_KEYS: &[&str] = &["property", "tolerance", "strict"];
@@ -439,9 +452,38 @@ fn compile_scheduler(doc: &Doc) -> Result<SchedulerKind, CompileError> {
             }
             Ok(SchedulerKind::Txop(c))
         }
+        "pf" => {
+            let mut c = PfConfig::default();
+            if let Some(e) = t.get("beta") {
+                c.beta = want_f64(e)?;
+                if !(c.beta > 0.0 && c.beta <= 1.0) {
+                    return err(e.line, "beta must be in (0, 1]".to_string());
+                }
+            }
+            if let Some(e) = t.get("total_buffer") {
+                c.total_buffer = want_u64(e)? as usize;
+            }
+            Ok(SchedulerKind::Pf(c))
+        }
+        "maxmin" => {
+            let mut c = MaxMinConfig::default();
+            if let Some(e) = t.get("rate_ewma") {
+                c.rate_ewma = want_f64(e)?;
+                if !(c.rate_ewma > 0.0 && c.rate_ewma <= 1.0) {
+                    return err(e.line, "rate_ewma must be in (0, 1]".to_string());
+                }
+            }
+            if let Some(e) = t.get("total_buffer") {
+                c.total_buffer = want_u64(e)? as usize;
+            }
+            Ok(SchedulerKind::MaxMin(c))
+        }
         other => err(
             kind_line,
-            format!("unknown scheduler '{other}'; expected fifo, rr, drr, tbr, or txop"),
+            format!(
+                "unknown scheduler '{other}'; expected one of {}",
+                airtime_sched::family_names()
+            ),
         ),
     }
 }
@@ -918,6 +960,7 @@ const KNOWN_TABLES: &[&str] = &[
     "station",
     "topology",
     "cells",
+    "tournament",
 ];
 
 /// Compiles a parsed document into a [`ScenarioSpec`]. The `[sweep]`
@@ -974,7 +1017,9 @@ pub fn compile(doc: &Doc) -> Result<ScenarioSpec, CompileError> {
     };
 
     let station_tables = doc.array_tables("station");
-    if station_tables.is_empty() {
+    // A [tournament] scenario populates its stations from the rate
+    // mixes, so the base file may legitimately declare none.
+    if station_tables.is_empty() && doc.table("tournament").is_none() {
         return err(
             1,
             "scenario declares no [[station]] tables; at least one is required",
@@ -1160,6 +1205,45 @@ strict = true
         }
         assert_eq!(spec.check.property, CheckProperty::AirtimeFair);
         assert!(spec.check.strict);
+    }
+
+    #[test]
+    fn pf_and_maxmin_schedulers_compile() {
+        let spec = compile_text(
+            "[scheduler]\nkind = \"pf\"\nbeta = 0.01\ntotal_buffer = 200\n[[station]]\nrate = \"11\"\n",
+        )
+        .unwrap();
+        match &spec.cfg.scheduler {
+            SchedulerKind::Pf(c) => {
+                assert_eq!(c.beta, 0.01);
+                assert_eq!(c.total_buffer, 200);
+            }
+            other => panic!("wrong scheduler {other:?}"),
+        }
+        let spec = compile_text(
+            "[scheduler]\nkind = \"maxmin\"\nrate_ewma = 0.5\n[[station]]\nrate = \"11\"\n",
+        )
+        .unwrap();
+        match &spec.cfg.scheduler {
+            SchedulerKind::MaxMin(c) => assert_eq!(c.rate_ewma, 0.5),
+            other => panic!("wrong scheduler {other:?}"),
+        }
+        // Out-of-range tunables are rejected with the offending line.
+        let e =
+            compile_text("[scheduler]\nkind = \"pf\"\nbeta = 1.5\n[[station]]\nrate = \"11\"\n")
+                .unwrap_err();
+        assert!(e.msg.contains("beta must be in (0, 1]"), "{}", e.msg);
+        assert_eq!(e.line, 3);
+        // The unknown-family diagnostic lists the whole registry.
+        let e =
+            compile_text("[scheduler]\nkind = \"lifo\"\n[[station]]\nrate = \"11\"\n").unwrap_err();
+        assert!(
+            e.msg
+                .contains("expected one of fifo, rr, drr, tbr, txop, pf, maxmin"),
+            "{}",
+            e.msg
+        );
+        assert_eq!(e.line, 2);
     }
 
     #[test]

@@ -165,7 +165,11 @@ seed = [7, 8]
     let one = run_sweep_text(text, "det.toml", 1).unwrap();
     let four = run_sweep_text(text, "det.toml", 4).unwrap();
     assert_eq!(one.stats.threads_used(), 1);
-    assert_eq!(four.stats.threads_used(), 4);
+    // 4 workers were spawned and between them completed every job (how
+    // many each grabbed is a scheduling race — on a loaded or
+    // single-core host an early worker may drain several).
+    assert_eq!(four.stats.threads, 4);
+    assert_eq!(four.stats.per_thread_jobs.iter().sum::<usize>(), 4);
     assert_eq!(one.cells.len(), 4);
 
     let json = |o: &airtime_scenario::SweepOutcome| emit::to_json(&o.name, &o.axes, &o.cells);
@@ -256,7 +260,7 @@ fn ablation_retry_info_example_agrees_with_the_bench_binary() {
 fn ablation_scheduler_family_example_agrees_with_the_bench_binary() {
     let doc = load(&example("ablation_scheduler_family.toml")).unwrap();
     let (_, jobs) = expand(&doc, "family").unwrap();
-    assert_eq!(jobs.len(), 5);
+    assert_eq!(jobs.len(), 7); // the whole registry, fifo..maxmin
     for (i, sched) in [(0, SchedulerKind::Fifo), (3, SchedulerKind::tbr())] {
         assert_runs_agree(
             &format!("ablation/family/{sched:?}"),

@@ -1,0 +1,333 @@
+//! `airtime-sched` — the pluggable AP fairness-policy subsystem.
+//!
+//! The paper argues *time-based* regulation (TBR) beats throughput
+//! fairness in multi-rate cells, but TBR is one point in the policy
+//! space. This crate turns the AP scheduler into a first-class
+//! subsystem so contenders can be compared side by side:
+//!
+//! - [`Scheduler`] — the pluggable trait every discipline implements:
+//!   the [`ApScheduler`] event hooks (enqueue / select / on-tx-complete
+//!   / tick coalescing) plus weighted association and optional
+//!   token-state introspection, so embedders never downcast to a
+//!   concrete type.
+//! - [`SchedulerKind`] — plain-data configuration naming a family and
+//!   its tunables; [`SchedulerKind::build`] constructs the boxed
+//!   discipline.
+//! - [`FAMILIES`] — the single registry of family names shared by the
+//!   scenario compiler, the CLI, the tournament runner and the bench
+//!   binaries (one list, no drift).
+//!
+//! The baseline families (FIFO / round-robin / DRR / TBR / TXOP) are
+//! re-exported from `airtime-core`; this crate adds two contenders from
+//! the literature retrieved in PAPERS.md:
+//!
+//! - [`PfScheduler`] — proportional fair (Patras et al.; the classic
+//!   cellular argmax of `instantaneous rate / β-EWMA average rate`).
+//! - [`MaxMinScheduler`] — max-min throughput fairness via
+//!   water-filling over per-station *achievable* rates (Leith et al.),
+//!   built on [`airtime_core::waterfill_airtime`].
+//!
+//! Both contenders are tick-free: every state update happens inside an
+//! event hook, so dense and coalesced tick modes are trivially
+//! bit-identical and the determinism contract holds by construction.
+
+use airtime_sim::SimTime;
+
+pub mod maxmin;
+pub mod pf;
+
+// Re-export the abstraction and the baseline implementations so
+// embedders depend on one scheduler crate.
+pub use airtime_core::{
+    ApScheduler, BufferPolicy, ClientId, DrrScheduler, EnqueueOutcome, FifoScheduler, QueuePool,
+    QueuedPacket, RedConfig, RoundRobinScheduler, TbrConfig, TbrScheduler, TxopConfig,
+    TxopScheduler,
+};
+pub use maxmin::{MaxMinConfig, MaxMinScheduler};
+pub use pf::{PfConfig, PfScheduler};
+
+/// A pluggable AP scheduling discipline.
+///
+/// Extends [`ApScheduler`] (the paper's five event handlers plus the
+/// tick-coalescing contract) with the hooks the embedding simulator
+/// needs to treat every family uniformly:
+///
+/// - [`on_associate_weighted`](Scheduler::on_associate_weighted) — the
+///   §4.5 weighted-share extension. The default ignores the weight and
+///   registers the client plainly, so unweighted disciplines need no
+///   code; weighted ones (TBR, DRR, PF, max-min) override it.
+/// - [`token_balance_ns`](Scheduler::token_balance_ns) /
+///   [`token_fill_rate`](Scheduler::token_fill_rate) — optional
+///   introspection for token-regulated families, feeding token gauges,
+///   `TokenUpdate` observer events and the §4.1 client-cooperation
+///   defer without downcasting. Disciplines without token state return
+///   `None` (the default).
+pub trait Scheduler: ApScheduler {
+    /// A client joined the cell with a QoS weight (1.0 = equal share).
+    /// Disciplines without weighted shares ignore the weight.
+    fn on_associate_weighted(&mut self, client: ClientId, weight: f64, now: SimTime) {
+        let _ = weight;
+        self.on_associate(client, now);
+    }
+
+    /// The client's channel-time token balance in nanoseconds, for
+    /// token-regulated disciplines; `None` otherwise.
+    fn token_balance_ns(&self, _client: ClientId) -> Option<f64> {
+        None
+    }
+
+    /// The client's token fill rate as a fraction of wall-clock time,
+    /// for token-regulated disciplines; `None` otherwise.
+    fn token_fill_rate(&self, _client: ClientId) -> Option<f64> {
+        None
+    }
+}
+
+impl Scheduler for FifoScheduler {}
+
+impl Scheduler for RoundRobinScheduler {}
+
+impl Scheduler for TxopScheduler {}
+
+impl Scheduler for DrrScheduler {
+    fn on_associate_weighted(&mut self, client: ClientId, weight: f64, now: SimTime) {
+        DrrScheduler::on_associate_weighted(self, client, weight, now);
+    }
+}
+
+impl Scheduler for TbrScheduler {
+    fn on_associate_weighted(&mut self, client: ClientId, weight: f64, now: SimTime) {
+        TbrScheduler::on_associate_weighted(self, client, weight, now);
+    }
+
+    fn token_balance_ns(&self, client: ClientId) -> Option<f64> {
+        self.tokens_of(client)
+    }
+
+    fn token_fill_rate(&self, client: ClientId) -> Option<f64> {
+        self.rate_of(client)
+    }
+}
+
+/// Which queue discipline the AP's transmit path runs — plain data; two
+/// runs of the same kind are bit-identical.
+#[derive(Clone, Debug)]
+pub enum SchedulerKind {
+    /// Single shared drop-tail queue (stock AP, the paper's Exp-Normal
+    /// kernel interface queue).
+    Fifo,
+    /// Per-client round robin (common AP behaviour, §2.4).
+    RoundRobin,
+    /// Deficit Round Robin (wired-style fair queuing, citation \[24\]),
+    /// weight-aware: each visit grants `weight × quantum` bytes.
+    Drr,
+    /// The paper's Time-based Regulator (Exp-TBR).
+    Tbr(TbrConfig),
+    /// TXOP-style channel-time grants (the §4.5 802.11e integration;
+    /// downlink-only regulation).
+    Txop(TxopConfig),
+    /// Proportional fair: serve the backlogged client maximising
+    /// `weight × instantaneous rate / β-EWMA average rate`.
+    Pf(PfConfig),
+    /// Max-min throughput fairness by water-filling one unit of airtime
+    /// over per-station achievable rates.
+    MaxMin(MaxMinConfig),
+}
+
+impl SchedulerKind {
+    /// The default Exp-TBR configuration.
+    pub fn tbr() -> Self {
+        SchedulerKind::Tbr(TbrConfig::default())
+    }
+
+    /// The default TXOP-grant configuration.
+    pub fn txop() -> Self {
+        SchedulerKind::Txop(TxopConfig::default())
+    }
+
+    /// The default proportional-fair configuration.
+    pub fn pf() -> Self {
+        SchedulerKind::Pf(PfConfig::default())
+    }
+
+    /// The default max-min waterfilling configuration.
+    pub fn maxmin() -> Self {
+        SchedulerKind::MaxMin(MaxMinConfig::default())
+    }
+
+    /// The family name this kind belongs to (a [`FAMILIES`] entry).
+    pub fn family(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::RoundRobin => "rr",
+            SchedulerKind::Drr => "drr",
+            SchedulerKind::Tbr(_) => "tbr",
+            SchedulerKind::Txop(_) => "txop",
+            SchedulerKind::Pf(_) => "pf",
+            SchedulerKind::MaxMin(_) => "maxmin",
+        }
+    }
+
+    /// The default configuration of the named family, or `None` for an
+    /// unknown name. The accepted names are exactly [`FAMILIES`].
+    pub fn from_family(name: &str) -> Option<Self> {
+        match name {
+            "fifo" => Some(SchedulerKind::Fifo),
+            "rr" => Some(SchedulerKind::RoundRobin),
+            "drr" => Some(SchedulerKind::Drr),
+            "tbr" => Some(SchedulerKind::tbr()),
+            "txop" => Some(SchedulerKind::txop()),
+            "pf" => Some(SchedulerKind::pf()),
+            "maxmin" => Some(SchedulerKind::maxmin()),
+            _ => None,
+        }
+    }
+
+    /// Constructs the discipline this kind describes.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(FifoScheduler::default()),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::default()),
+            SchedulerKind::Drr => Box::new(DrrScheduler::default()),
+            SchedulerKind::Tbr(c) => Box::new(TbrScheduler::new(*c)),
+            SchedulerKind::Txop(c) => Box::new(TxopScheduler::new(*c)),
+            SchedulerKind::Pf(c) => Box::new(PfScheduler::new(*c)),
+            SchedulerKind::MaxMin(c) => Box::new(MaxMinScheduler::new(*c)),
+        }
+    }
+}
+
+/// One entry of the scheduler-family registry.
+#[derive(Clone, Copy, Debug)]
+pub struct Family {
+    /// The name scenario files, the CLI and the tournament use.
+    pub name: &'static str,
+    /// One-line description for help text and docs.
+    pub summary: &'static str,
+    /// Whether the family targets equal *airtime* shares (vs equal
+    /// throughput) for saturated equal-weight clients — what the
+    /// baseline-property check asserts.
+    pub time_fair: bool,
+}
+
+/// Every scheduler family, in canonical order. This is the single
+/// source of truth: the scenario compiler, `airtime-cli --sched`, the
+/// `[tournament]` runner and the ablation bench all enumerate it.
+pub const FAMILIES: &[Family] = &[
+    Family {
+        name: "fifo",
+        summary: "single shared drop-tail queue (stock AP)",
+        time_fair: false,
+    },
+    Family {
+        name: "rr",
+        summary: "per-client packet round robin",
+        time_fair: false,
+    },
+    Family {
+        name: "drr",
+        summary: "deficit round robin, weight-aware byte fairness",
+        time_fair: false,
+    },
+    Family {
+        name: "tbr",
+        summary: "time-based regulator (the paper's Exp-TBR)",
+        time_fair: true,
+    },
+    Family {
+        name: "txop",
+        summary: "802.11e TXOP-style channel-time grants",
+        time_fair: true,
+    },
+    Family {
+        name: "pf",
+        summary: "proportional fair (argmax rate / beta-EWMA average)",
+        time_fair: true,
+    },
+    Family {
+        name: "maxmin",
+        summary: "max-min waterfilling over achievable rates",
+        time_fair: false,
+    },
+];
+
+/// The comma-separated family list for diagnostics
+/// (`"fifo, rr, drr, tbr, txop, pf, maxmin"`).
+pub fn family_names() -> String {
+    FAMILIES
+        .iter()
+        .map(|f| f.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trips_through_kind() {
+        for fam in FAMILIES {
+            let kind = SchedulerKind::from_family(fam.name)
+                .unwrap_or_else(|| panic!("registry family '{}' has no kind", fam.name));
+            assert_eq!(kind.family(), fam.name);
+            // Every registered family constructs a live discipline.
+            let mut s = kind.build();
+            s.on_associate(ClientId(0), SimTime::ZERO);
+            assert_eq!(s.backlog(), 0);
+        }
+        assert!(SchedulerKind::from_family("lifo").is_none());
+    }
+
+    #[test]
+    fn family_names_lists_all() {
+        let names = family_names();
+        for fam in FAMILIES {
+            assert!(names.contains(fam.name));
+        }
+        assert_eq!(names, "fifo, rr, drr, tbr, txop, pf, maxmin");
+    }
+
+    #[test]
+    fn weighted_associate_reaches_every_family() {
+        // The trait-level weighted associate must be accepted by every
+        // family (unweighted ones ignore the weight).
+        for fam in FAMILIES {
+            let mut s = SchedulerKind::from_family(fam.name).unwrap().build();
+            s.on_associate_weighted(ClientId(0), 2.0, SimTime::ZERO);
+            s.on_associate_weighted(ClientId(1), 1.0, SimTime::ZERO);
+            let now = SimTime::ZERO;
+            s.enqueue(
+                QueuedPacket {
+                    client: ClientId(0),
+                    handle: 1,
+                    bytes: 1500,
+                },
+                now,
+            );
+            assert!(s.backlog() > 0);
+        }
+    }
+
+    #[test]
+    fn token_introspection_is_tbr_only() {
+        let now = SimTime::ZERO;
+        for fam in FAMILIES {
+            let mut s = SchedulerKind::from_family(fam.name).unwrap().build();
+            s.on_associate(ClientId(0), now);
+            let has_tokens = s.token_balance_ns(ClientId(0)).is_some();
+            assert_eq!(has_tokens, fam.name == "tbr", "family {}", fam.name);
+        }
+        // And the TBR balance matches the inherent accessor.
+        let mut tbr = TbrScheduler::new(TbrConfig::default());
+        Scheduler::on_associate_weighted(&mut tbr, ClientId(0), 1.0, now);
+        assert_eq!(
+            tbr.token_balance_ns(ClientId(0)),
+            tbr.tokens_of(ClientId(0))
+        );
+        assert_eq!(
+            tbr.token_balance_ns(ClientId(0)),
+            Some(TbrConfig::default().initial_tokens.as_nanos() as f64)
+        );
+    }
+}

@@ -1,38 +1,13 @@
 //! Experiment configuration types.
 
-use airtime_core::TbrConfig;
 use airtime_net::TcpConfig;
 use airtime_phy::{DataRate, PathLossModel, Phy80211b, Wall};
 use airtime_sim::{QueueBackend, SimDuration, SimTime};
 
-/// Which queue discipline the AP's transmit path runs.
-#[derive(Clone, Debug)]
-pub enum SchedulerKind {
-    /// Single shared drop-tail queue (stock AP, the paper's Exp-Normal
-    /// kernel interface queue).
-    Fifo,
-    /// Per-client round robin (common AP behaviour, §2.4).
-    RoundRobin,
-    /// Deficit Round Robin (wired-style fair queuing, citation \[24\]).
-    Drr,
-    /// The paper's Time-based Regulator (Exp-TBR).
-    Tbr(TbrConfig),
-    /// TXOP-style channel-time grants (the §4.5 802.11e integration;
-    /// downlink-only regulation).
-    Txop(airtime_core::TxopConfig),
-}
-
-impl SchedulerKind {
-    /// The default Exp-TBR configuration.
-    pub fn tbr() -> Self {
-        SchedulerKind::Tbr(TbrConfig::default())
-    }
-
-    /// The default TXOP-grant configuration.
-    pub fn txop() -> Self {
-        SchedulerKind::Txop(airtime_core::TxopConfig::default())
-    }
-}
+// The scheduler family registry lives in `airtime-sched` (the pluggable
+// fairness-policy subsystem); re-exported here so experiment configs
+// keep writing `airtime_wlan::SchedulerKind`.
+pub use airtime_sched::SchedulerKind;
 
 /// Radio link between one client and the AP.
 #[derive(Clone, Debug)]
@@ -139,8 +114,9 @@ pub struct StationConfig {
     /// Flows terminating at this station.
     pub flows: Vec<FlowSpec>,
     /// QoS weight for schedulers that support weighted shares (the
-    /// §4.5 extension; currently TBR). 1.0 = equal share; must be
-    /// positive. Other schedulers ignore it.
+    /// §4.5 extension): TBR, weighted DRR, PF, and max-min. 1.0 = equal
+    /// share; must be positive. Families without a weighted mode
+    /// (FIFO, RR, TXOP) ignore it.
     pub weight: f64,
 }
 

@@ -15,10 +15,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use airtime_core::{
-    ApScheduler, ClientId, DrrScheduler, EnqueueOutcome, FifoScheduler, QueuedPacket,
-    RoundRobinScheduler, TbrScheduler, TxopScheduler,
-};
+use airtime_core::{ClientId, EnqueueOutcome, QueuedPacket};
 use airtime_mac::{
     DcfConfig, DcfWorld, Frame, FrameOutcome, MacEffect, MacEvent, NodeId, SliceKind,
 };
@@ -31,6 +28,7 @@ use airtime_obs::{
     NullObserver, Observer, QueueSite, RunPhase, TcpPhase, TokenCause,
 };
 use airtime_phy::{Arf, DataRate, LinkErrorModel};
+use airtime_sched::Scheduler;
 use airtime_sim::{
     AnyQueue, Histogram, LoopProfiler, RateMeter, SimDuration, SimRng, SimTime, Timeline,
 };
@@ -72,85 +70,6 @@ enum Event {
         flow: usize,
     },
     WarmupDone,
-}
-
-/// Concrete scheduler dispatch (an enum rather than `dyn` so the TBR
-/// variant stays reachable for token inspection).
-enum Sched {
-    Fifo(FifoScheduler),
-    Rr(RoundRobinScheduler),
-    Drr(DrrScheduler),
-    Tbr(TbrScheduler),
-    Txop(TxopScheduler),
-}
-
-macro_rules! sched_delegate {
-    ($self:ident, $s:ident => $e:expr) => {
-        match $self {
-            Sched::Fifo($s) => $e,
-            Sched::Rr($s) => $e,
-            Sched::Drr($s) => $e,
-            Sched::Tbr($s) => $e,
-            Sched::Txop($s) => $e,
-        }
-    };
-}
-
-impl Sched {
-    fn as_tbr(&self) -> Option<&TbrScheduler> {
-        match self {
-            Sched::Tbr(t) => Some(t),
-            _ => None,
-        }
-    }
-
-    fn on_associate(&mut self, c: ClientId, now: SimTime) {
-        sched_delegate!(self, s => s.on_associate(c, now))
-    }
-    /// Associates with a QoS weight where the discipline supports it
-    /// (TBR); everywhere else the weight is ignored.
-    fn on_associate_weighted(&mut self, c: ClientId, weight: f64, now: SimTime) {
-        match self {
-            Sched::Tbr(s) => s.on_associate_weighted(c, weight, now),
-            other => other.on_associate(c, now),
-        }
-    }
-    fn on_disassociate(&mut self, c: ClientId, now: SimTime) -> Vec<QueuedPacket> {
-        sched_delegate!(self, s => s.on_disassociate(c, now))
-    }
-    fn enqueue(&mut self, p: QueuedPacket, now: SimTime) -> EnqueueOutcome {
-        sched_delegate!(self, s => s.enqueue(p, now))
-    }
-    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
-        sched_delegate!(self, s => s.dequeue(now))
-    }
-    fn on_complete(&mut self, c: ClientId, airtime: SimDuration, by_ap: bool, now: SimTime) {
-        sched_delegate!(self, s => s.on_complete(c, airtime, by_ap, now))
-    }
-    fn on_tick(&mut self, now: SimTime) {
-        sched_delegate!(self, s => s.on_tick(now))
-    }
-    fn tick_period(&self) -> Option<SimDuration> {
-        sched_delegate!(self, s => s.tick_period())
-    }
-    fn coalescible(&self) -> bool {
-        sched_delegate!(self, s => s.coalescible())
-    }
-    fn next_wake(&self, now: SimTime) -> Option<SimTime> {
-        sched_delegate!(self, s => s.next_wake(now))
-    }
-    fn backlog(&self) -> usize {
-        sched_delegate!(self, s => s.backlog())
-    }
-    fn has_eligible(&self, now: SimTime) -> bool {
-        sched_delegate!(self, s => s.has_eligible(now))
-    }
-    fn queue_len(&self, c: ClientId) -> usize {
-        sched_delegate!(self, s => s.queue_len(c))
-    }
-    fn drops(&self) -> u64 {
-        sched_delegate!(self, s => s.drops())
-    }
 }
 
 struct FlowRt {
@@ -226,7 +145,8 @@ struct Sim<'c, O: Observer> {
     now: SimTime,
     queue: AnyQueue<Event>,
     mac: DcfWorld,
-    sched: Sched,
+    /// The pluggable AP discipline (any `airtime-sched` family).
+    sched: Box<dyn Scheduler>,
     /// True when `SchedTick` self-reschedules at every `tick_period`
     /// (the scheduler needs a timer but cannot catch up lazily, or the
     /// config disabled coalescing).
@@ -463,13 +383,7 @@ impl<'c, O: Observer> Sim<'c, O> {
         // the MAC reports them as effects — neither touches the RNG.
         mac.set_emit_backoff(obs.active());
         mac.set_emit_airtime(obs.active());
-        let mut sched = match &cfg.scheduler {
-            SchedulerKind::Fifo => Sched::Fifo(FifoScheduler::default()),
-            SchedulerKind::RoundRobin => Sched::Rr(RoundRobinScheduler::default()),
-            SchedulerKind::Drr => Sched::Drr(DrrScheduler::default()),
-            SchedulerKind::Tbr(tc) => Sched::Tbr(TbrScheduler::new(*tc)),
-            SchedulerKind::Txop(tc) => Sched::Txop(TxopScheduler::new(*tc)),
-        };
+        let mut sched: Box<dyn Scheduler> = cfg.scheduler.build();
         // Build flow runtimes.
         let warmup_end = SimTime::ZERO + cfg.warmup;
         let mut flows = Vec::new();
@@ -550,7 +464,7 @@ impl<'c, O: Observer> Sim<'c, O> {
             Regulate::PerStation => n,
             Regulate::PerFlow => flows.len(),
         };
-        let is_tbr = matches!(sched, Sched::Tbr(_));
+        let is_tbr = matches!(cfg.scheduler, SchedulerKind::Tbr(_));
         let instr = metrics.map(|reg| {
             reg.set_meta("seed", &cfg.seed.to_string());
             reg.set_meta("scheduler", &format!("{:?}", cfg.scheduler));
@@ -710,13 +624,7 @@ impl<'c, O: Observer> Sim<'c, O> {
         let occ_total: f64 = occ.iter().sum();
         let token_count = self.instr.as_ref().map_or(0, |i| i.tokens.len());
         let token_vals: Vec<f64> = (0..token_count)
-            .map(|k| {
-                self.sched
-                    .as_tbr()
-                    .and_then(|t| t.tokens_of(ClientId(k)))
-                    .unwrap_or(0.0)
-                    / 1e3
-            })
+            .map(|k| self.sched.token_balance_ns(ClientId(k)).unwrap_or(0.0) / 1e3)
             .collect();
         let instr = self.instr.as_mut().expect("checked above");
         instr.reg.set_counter(instr.attempts, stats.attempts);
@@ -838,16 +746,17 @@ impl<'c, O: Observer> Sim<'c, O> {
 
     fn emit_tokens(&mut self, key: ClientId, cause: TokenCause) {
         if self.obs.active() {
-            if let Some(tbr) = self.sched.as_tbr() {
-                if let (Some(tokens), Some(rate)) = (tbr.tokens_of(key), tbr.rate_of(key)) {
-                    self.obs.on_token_update(EventRecord::TokenUpdate {
-                        t: self.now,
-                        client: key.index() as u64,
-                        tokens_us: tokens / 1e3,
-                        rate,
-                        cause,
-                    });
-                }
+            if let (Some(tokens), Some(rate)) = (
+                self.sched.token_balance_ns(key),
+                self.sched.token_fill_rate(key),
+            ) {
+                self.obs.on_token_update(EventRecord::TokenUpdate {
+                    t: self.now,
+                    client: key.index() as u64,
+                    tokens_us: tokens / 1e3,
+                    rate,
+                    cause,
+                });
             }
         }
     }
@@ -1183,15 +1092,15 @@ impl<'c, O: Observer> Sim<'c, O> {
         // balance is told (via the piggybacked notification bit) to
         // defer for the time its deficit takes to refill.
         if self.cfg.client_cooperation && !sent_by_ap {
-            if let Some(tbr) = self.sched.as_tbr() {
-                let client = key;
-                if let (Some(tokens), Some(rate)) = (tbr.tokens_of(client), tbr.rate_of(client)) {
-                    if tokens < 0.0 && rate > 0.0 {
-                        let wait_ns = (-tokens / rate) as u64;
-                        let until = self.now + SimDuration::from_nanos(wait_ns);
-                        let fx = self.mac.set_defer(self.now, NodeId(node), until);
-                        self.apply_mac_effects(fx);
-                    }
+            if let (Some(tokens), Some(rate)) = (
+                self.sched.token_balance_ns(key),
+                self.sched.token_fill_rate(key),
+            ) {
+                if tokens < 0.0 && rate > 0.0 {
+                    let wait_ns = (-tokens / rate) as u64;
+                    let until = self.now + SimDuration::from_nanos(wait_ns);
+                    let fx = self.mac.set_defer(self.now, NodeId(node), until);
+                    self.apply_mac_effects(fx);
                 }
             }
         }
@@ -1760,9 +1669,9 @@ impl<'c, O: Observer> Sim<'c, O> {
             Regulate::PerStation => n,
             Regulate::PerFlow => self.flows.len(),
         };
-        let tbr_rates = self.sched.as_tbr().map(|t| {
+        let tbr_rates = matches!(self.cfg.scheduler, SchedulerKind::Tbr(_)).then(|| {
             (0..key_count)
-                .map(|k| t.rate_of(ClientId(k)).unwrap_or(0.0))
+                .map(|k| self.sched.token_fill_rate(ClientId(k)).unwrap_or(0.0))
                 .collect()
         });
         Report {

@@ -65,6 +65,27 @@ fn goldens() -> Vec<(&'static str, NetworkConfig, &'static str)> {
             )),
             "29d665a86663910d",
         ),
+        // The two scheduler-zoo contenders on the same fig9-class cell:
+        // both are tick-free, so backend/tick-mode invariance holds by
+        // construction — these goldens pin their *decisions*.
+        (
+            "fig9/tcp_down/pf",
+            shorten(scenarios::tcp_stations(
+                &[B11, B1],
+                Direction::Downlink,
+                SchedulerKind::pf(),
+            )),
+            "73b2ab33c8eec34e",
+        ),
+        (
+            "fig9/tcp_down/maxmin",
+            shorten(scenarios::tcp_stations(
+                &[B11, B1],
+                Direction::Downlink,
+                SchedulerKind::maxmin(),
+            )),
+            "216b7bb5cdcc2ab2",
+        ),
     ]
 }
 

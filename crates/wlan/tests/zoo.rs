@@ -1,0 +1,130 @@
+//! Cross-family properties of the scheduler zoo: every family in the
+//! `airtime-sched` registry, run end-to-end through the simulator.
+//!
+//! 1. **Work conservation** — on a cell of identical stations every
+//!    discipline delivers the same aggregate capacity: a scheduler
+//!    that idled the medium while a queue was backlogged would fall
+//!    measurably short of the FIFO reference.
+//! 2. **Conservation audit** — under every family, over a grid of
+//!    seeds, rate mixes and directions, the airtime ledger's exclusive
+//!    medium timeline still tiles the measured window exactly and
+//!    reproduces the report's occupancy shares.
+//!
+//! (The per-family fairness targets are asserted by the `airtime-sched`
+//! unit tests and the `tests/paper_effects.rs` suite; golden
+//! fingerprints for the new families live in `tests/fingerprints.rs`.)
+
+use airtime_obs::AirtimeLedger;
+use airtime_phy::DataRate::{self, B1, B11, B2, B5_5};
+use airtime_sched::{SchedulerKind, FAMILIES};
+use airtime_sim::SimDuration;
+use airtime_wlan::{run, run_observed, scenarios, Direction, NetworkConfig};
+
+fn shorten(mut cfg: NetworkConfig) -> NetworkConfig {
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg
+}
+
+fn every_family() -> impl Iterator<Item = (&'static str, SchedulerKind)> {
+    FAMILIES.iter().map(|f| {
+        (
+            f.name,
+            SchedulerKind::from_family(f.name).expect("registry names resolve"),
+        )
+    })
+}
+
+#[test]
+fn identical_stations_get_the_same_capacity_from_every_family() {
+    // Two equal-rate saturated downloaders: fairness disciplines can
+    // only differ in *how they split* the medium, so any
+    // work-conserving discipline must deliver the FIFO aggregate.
+    let reference = run(&shorten(scenarios::downloaders(
+        &[B11, B11],
+        SchedulerKind::Fifo,
+    )))
+    .total_goodput_mbps;
+    assert!(reference > 3.0, "reference capacity {reference}");
+    for (name, kind) in every_family() {
+        let r = run(&shorten(scenarios::downloaders(&[B11, B11], kind)));
+        let ratio = r.total_goodput_mbps / reference;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "{name}: aggregate {1:.3} Mb/s vs FIFO reference {reference:.3} \
+             (ratio {0:.3}) — family is not work-conserving",
+            ratio,
+            r.total_goodput_mbps,
+        );
+    }
+}
+
+#[test]
+fn every_family_conserves_airtime_on_randomized_cells() {
+    let mixes: [&[DataRate]; 2] = [&[B11, B1], &[B11, B5_5, B2, B1]];
+    for (name, kind) in every_family() {
+        for seed in [1u64, 7, 42] {
+            for rates in mixes {
+                for dir in [Direction::Downlink, Direction::Uplink] {
+                    let mut cfg = shorten(scenarios::tcp_stations(rates, dir, kind.clone()));
+                    cfg.seed = seed;
+                    let mut ledger = AirtimeLedger::new();
+                    let report = run_observed(&cfg, &mut ledger);
+                    let audit = ledger.audit();
+                    let label = format!("{name}/seed{seed}/{}sta/{dir:?}", rates.len());
+                    assert!(audit.conserved, "{label}: {audit}");
+                    assert!(audit.slices > 0, "{label}: empty timeline");
+                    let shares = ledger.occupancy_shares();
+                    for node in &report.nodes {
+                        let id = (node.station + 1) as u64;
+                        let ledger_share = shares
+                            .iter()
+                            .find(|&&(s, _)| s == id)
+                            .map_or(0.0, |&(_, sh)| sh);
+                        assert!(
+                            (ledger_share - node.occupancy_share).abs() < 1e-9,
+                            "{label}: station {} ledger share {ledger_share} \
+                             vs report {}",
+                            node.station,
+                            node.occupancy_share,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn time_fair_families_beat_throughput_fair_ones_on_the_anomaly_cell() {
+    // The paper's headline, as a registry-wide invariant: on the
+    // 11-vs-1 downlink cell every time-fair family clears every
+    // throughput-fair family's aggregate by a wide margin.
+    let mut time_fair = Vec::new();
+    let mut throughput_fair = Vec::new();
+    for (name, kind) in every_family() {
+        let r = run(&shorten(scenarios::tcp_stations(
+            &[B11, B1],
+            Direction::Downlink,
+            kind,
+        )));
+        let time = FAMILIES.iter().find(|f| f.name == name).unwrap().time_fair;
+        if time {
+            time_fair.push((name, r.total_goodput_mbps));
+        } else {
+            throughput_fair.push((name, r.total_goodput_mbps));
+        }
+    }
+    assert!(time_fair.len() >= 3, "{time_fair:?}");
+    assert!(throughput_fair.len() >= 3, "{throughput_fair:?}");
+    let worst_time = time_fair
+        .iter()
+        .map(|&(_, m)| m)
+        .fold(f64::INFINITY, f64::min);
+    let best_thpt = throughput_fair.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+    assert!(
+        worst_time > 1.5 * best_thpt,
+        "worst time-fair {worst_time:.3} vs best throughput-fair \
+         {best_thpt:.3}: time_fair={time_fair:?} throughput_fair={throughput_fair:?}"
+    );
+}

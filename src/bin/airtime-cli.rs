@@ -39,6 +39,11 @@ USAGE:
     airtime-cli run [OPTIONS]       simulate a cell and print the report
     airtime-cli sweep <file.toml>   expand a scenario's [sweep] matrix and
                                     run it on a worker pool
+    airtime-cli tournament <file.toml>
+                                    run a scenario's [tournament] section:
+                                    every listed scheduler family over
+                                    every rate mix and direction, results
+                                    side by side
     airtime-cli inspect <events>    summarize a JSONL event trace
     airtime-cli profile <file.toml>...
                                     time the event loop over one or more
@@ -63,7 +68,8 @@ OPTIONS (run):
                         overrides --rates/--sched/--direction/--secs/--seed
     --rates <list>      comma-separated Mbit/s per station from
                         {1,2,5.5,11,6,9,12,18,24,36,48,54}   [default: 11,1]
-    --sched <name>      fifo | rr | drr | tbr | txop          [default: tbr]
+    --sched <name>      fifo | rr | drr | tbr | txop | pf | maxmin
+                                                              [default: tbr]
     --direction <dir>   up | down                             [default: up]
     --secs <n>          simulated seconds                     [default: 20]
     --seed <n>          RNG seed                              [default: 1]
@@ -88,6 +94,15 @@ OPTIONS (sweep):
     --threads <n>       worker threads                  [default: all cores]
     --json <path>       write the result matrix as schema'd JSON
     --csv <path>        write the result matrix as schema'd CSV
+
+OPTIONS (tournament):
+    --threads <n>       worker threads                  [default: all cores]
+    --json <path>       write the tournament matrix as schema'd JSON
+    --csv <path>        write the tournament matrix as schema'd CSV
+The job matrix is family-major (family x rate mix x direction) and the
+emitted documents are byte-identical across --threads settings. A
+[scheduler] table tuning a listed family supplies that family's
+configuration; the rest run registry defaults.
 
 Scenario files with [[cells]] tables describe multi-AP topologies
 (AP placement, channels, station positions and waypoint mobility).
@@ -243,14 +258,13 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
         match flag.as_str() {
             "--rates" => args.rates = parse_rates(&value()?)?,
             "--sched" => {
-                args.sched = match value()?.as_str() {
-                    "fifo" => SchedulerKind::Fifo,
-                    "rr" => SchedulerKind::RoundRobin,
-                    "drr" => SchedulerKind::Drr,
-                    "tbr" => SchedulerKind::tbr(),
-                    "txop" => SchedulerKind::txop(),
-                    other => return Err(format!("unknown scheduler '{other}'")),
-                }
+                let name = value()?;
+                args.sched = SchedulerKind::from_family(&name).ok_or_else(|| {
+                    format!(
+                        "unknown scheduler '{name}'; expected one of {}",
+                        airtime::sched::family_names()
+                    )
+                })?;
             }
             "--direction" => {
                 args.direction = match value()?.as_str() {
@@ -302,9 +316,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
             }
             "--inject" => args.inject = Some(value()?),
             "--window" => args.window = Some(value()?),
-            // `run --json` is a bare flag; `sweep --json <path>` and
-            // `profile --json <path>` take a path.
-            "--json" if cmd == "sweep" || cmd == "profile" => {
+            // `run --json` is a bare flag; `sweep --json <path>`,
+            // `tournament --json <path>` and `profile --json <path>`
+            // take a path.
+            "--json" if cmd == "sweep" || cmd == "tournament" || cmd == "profile" => {
                 args.json_path = Some(PathBuf::from(value()?))
             }
             "--json" => args.json = true,
@@ -748,6 +763,127 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
              (a non-conserved timeline is a simulator defect)"
                 .into(),
         );
+    }
+    Ok(())
+}
+
+fn cmd_tournament(a: &Args) -> Result<(), String> {
+    let path = a
+        .positionals
+        .first()
+        .ok_or("tournament needs a scenario file: airtime-cli tournament <file.toml>")?;
+    let path = std::path::Path::new(path);
+    let file = path.display().to_string();
+    let doc = airtime::scenario::load(path).map_err(|e| e.to_string())?;
+    let threads = a.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let outcome =
+        airtime::scenario::run_tournament(&doc, &file, threads).map_err(|e| e.to_string())?;
+
+    let mut out = airtime::bench::Output::new(
+        &format!(
+            "tournament '{}' — {} families x {} mixes x {} direction(s)",
+            outcome.name,
+            outcome.families.len(),
+            outcome.mixes.len(),
+            outcome.directions.len()
+        ),
+        None,
+    );
+    let rows: Vec<Vec<String>> = outcome
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.index.to_string(),
+                r.family.clone(),
+                r.mix.clone(),
+                r.direction.clone(),
+                format!("{:.3}", r.total_mbps),
+                format!("{:.1}", r.utilization * 100.0),
+                format!("{:.3}", r.jain_throughput),
+                format!("{:.3}", r.jain_airtime),
+                r.check.label().to_string(),
+                r.fp.clone(),
+            ]
+        })
+        .collect();
+    out.table(
+        "",
+        &[
+            "job",
+            "family",
+            "mix",
+            "dir",
+            "total Mb/s",
+            "util %",
+            "Jain(thpt)",
+            "Jain(time)",
+            "check",
+            "fp",
+        ],
+        &rows,
+    );
+    // Per-station breakdown: the airtime shares and queueing delays the
+    // family comparison is actually about.
+    let station_rows: Vec<Vec<String>> = outcome
+        .rows
+        .iter()
+        .flat_map(|r| {
+            r.stations.iter().map(|s| {
+                vec![
+                    r.index.to_string(),
+                    r.family.clone(),
+                    s.rate.clone(),
+                    format!("{:.3}", s.goodput_mbps),
+                    format!("{:.3}", s.airtime_share),
+                    format!("{:.2}", s.delay_ms[0]),
+                    format!("{:.2}", s.delay_ms[1]),
+                    format!("{:.2}", s.delay_ms[2]),
+                ]
+            })
+        })
+        .collect();
+    out.table(
+        "per station",
+        &[
+            "job", "family", "rate", "Mb/s", "airtime", "q p50 ms", "q p95 ms", "q p99 ms",
+        ],
+        &station_rows,
+    );
+    out.note(&format!(
+        "{} worker thread(s); jobs per thread: {:?}",
+        outcome.stats.threads_used(),
+        outcome.stats.per_thread_jobs
+    ));
+
+    if let Some(p) = &a.json_path {
+        let doc = airtime::scenario::tournament::to_json(&outcome);
+        std::fs::write(p, doc).map_err(|e| format!("writing {}: {e}", p.display()))?;
+        out.note(&format!("JSON matrix written to {}", p.display()));
+    }
+    if let Some(p) = &a.csv {
+        let doc = airtime::scenario::tournament::to_csv(&outcome);
+        std::fs::write(p, doc).map_err(|e| format!("writing {}: {e}", p.display()))?;
+        out.note(&format!("CSV matrix written to {}", p.display()));
+    }
+
+    let failed = outcome
+        .rows
+        .iter()
+        .filter(|r| matches!(r.check, airtime::scenario::CheckOutcome::Fail(_)))
+        .count();
+    if failed > 0 {
+        out.note(&format!("{failed} row(s) failed their baseline check"));
+    }
+    out.finish();
+    if outcome.strict_failure {
+        return Err(format!(
+            "{failed} row(s) failed the baseline check and the scenario sets [check] strict = true"
+        ));
     }
     Ok(())
 }
@@ -1201,6 +1337,7 @@ fn main() {
             let result = match cmd.as_str() {
                 "run" => cmd_run(&args),
                 "sweep" => cmd_sweep(&args),
+                "tournament" => cmd_tournament(&args),
                 "inspect" => cmd_inspect(&args),
                 "profile" => cmd_profile(&args),
                 "verify-determinism" => cmd_verify_determinism(&args),

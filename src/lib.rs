@@ -16,6 +16,7 @@
 //! | [`mac`] | `airtime-mac` | DCF CSMA/CA, collisions, retries, airtime accounting |
 //! | [`net`] | `airtime-net` | ack-clocked TCP Reno/NewReno, UDP, rate limiting |
 //! | [`core`] | `airtime-core` | **TBR**, FIFO/RR/DRR baselines, fairness metrics |
+//! | [`sched`] | `airtime-sched` | the pluggable `Scheduler` trait, family registry, PF and max-min |
 //! | [`model`] | `airtime-model` | Equations 4–13, γ models, Bianchi, task model |
 //! | [`trace`] | `airtime-trace` | trace synthesis + Figure 1/5 analyses |
 //! | [`wlan`] | `airtime-wlan` | the integrated experiment engine and scenarios |
@@ -51,6 +52,7 @@ pub use airtime_net as net;
 pub use airtime_obs as obs;
 pub use airtime_phy as phy;
 pub use airtime_scenario as scenario;
+pub use airtime_sched as sched;
 pub use airtime_sim as sim;
 pub use airtime_topo as topo;
 pub use airtime_trace as trace;
